@@ -1,0 +1,27 @@
+//! # sync-analysis — offset filtering and synchronization metrics
+//!
+//! SSTSP's coarse synchronization phase collects timestamp offsets from
+//! overheard beacons, **eliminates biased offsets** (possibly injected by an
+//! attacker), and averages the survivors. The paper points at two filters
+//! from Song, Zhu & Cao (MASS 2005):
+//!
+//! * [`threshold`] — a robust median-distance threshold filter (cheap, used
+//!   online);
+//! * [`gesd`] — the Generalized Extreme Studentized Deviate test (Rosner
+//!   1983), which detects up to `r` outliers in approximately normal data
+//!   without masking effects.
+//!
+//! [`metrics`] holds the measurement side: maximum pairwise clock spread
+//! (the y-axis of every figure in the paper) and the synchronization-latency
+//! detector (Table 1's "synchronized ⇔ max difference ≤ 25 µs" criterion).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gesd;
+pub mod metrics;
+pub mod threshold;
+
+pub use gesd::{gesd_outliers, GesdConfig};
+pub use metrics::{max_pairwise_spread, SpreadTracker, SyncCriterion};
+pub use threshold::ThresholdFilter;

@@ -1,0 +1,304 @@
+//! The internal fast-beacon attacker of Figs. 3–4.
+//!
+//! "The attacker attacks by deliberately sending the synchronization
+//! beacons at each BP without delay with an erroneous time value slower
+//! than its local clock. We carefully configure the erroneous time values
+//! such that they can pass the guard time check in SSTSP." (Sec. 5)
+//!
+//! The attacker wraps an honest protocol instance: outside the attack
+//! window it behaves like any station (so it is synchronized well enough
+//! to know the current µTESLA interval and to craft guard-passing
+//! timestamps); inside the window it transmits at slot 0 of every BP.
+//! Being an *internal* attacker — a compromised legitimate node — it owns
+//! an authenticated hash chain and its beacons pass µTESLA.
+
+use protocols::api::{
+    BeaconIntent, BeaconPayload, NodeCtx, ReceivedBeacon, SyncProtocol,
+};
+use mac80211::frame::BeaconBody;
+use rand::Rng;
+use sstsp_crypto::{sign_with_chain, ChainElement, HashChain};
+
+/// When the attacker is active, in the attacker's own clock (µs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackWindow {
+    /// Attack start (µs of attacker clock). Paper: 400 s.
+    pub start_us: f64,
+    /// Attack end. Paper: 600 s.
+    pub end_us: f64,
+}
+
+impl AttackWindow {
+    /// The paper's window: 400 s – 600 s.
+    pub fn paper() -> Self {
+        AttackWindow {
+            start_us: 400e6,
+            end_us: 600e6,
+        }
+    }
+
+    /// Whether `clock_us` falls inside the window.
+    pub fn contains(&self, clock_us: f64) -> bool {
+        clock_us >= self.start_us && clock_us < self.end_us
+    }
+}
+
+/// A compromised station mounting the fast-beacon attack.
+pub struct FastBeaconAttacker<P: SyncProtocol> {
+    inner: P,
+    window: AttackWindow,
+    /// How much slower than the attacker's clock the forged timestamps
+    /// are, µs. Must stay under the victims' guard time δ to be accepted
+    /// by SSTSP.
+    error_us: f64,
+    /// Whether forged beacons carry µTESLA fields (attack on SSTSP) or are
+    /// plain TSF beacons (attack on TSF-family protocols).
+    secured: bool,
+    chain: Option<HashChain>,
+    seq: u32,
+    /// Beacons transmitted while attacking.
+    pub beacons_sent: u64,
+}
+
+impl<P: SyncProtocol> FastBeaconAttacker<P> {
+    /// Wrap `inner`; forged beacons are `error_us` slower than the
+    /// attacker's clock and secured iff `secured`.
+    pub fn new(inner: P, window: AttackWindow, error_us: f64, secured: bool) -> Self {
+        assert!(error_us >= 0.0, "error must be non-negative (slower clock)");
+        FastBeaconAttacker {
+            inner,
+            window,
+            error_us,
+            secured,
+            chain: None,
+            seq: 0,
+            beacons_sent: 0,
+        }
+    }
+
+    /// The wrapped honest protocol (for inspection).
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    fn attacking(&self, local_us: f64) -> bool {
+        self.window.contains(self.inner.clock_us(local_us))
+    }
+
+    /// The attacker signs with its node's *legitimate* published chain: it
+    /// is an internal adversary that compromised an initialized station. If
+    /// the wrapped protocol has no chain (e.g. a TSF node in unit tests),
+    /// one is generated and published here.
+    fn ensure_chain(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.chain.is_none() {
+            if let Some(c) = self.inner.hash_chain() {
+                self.chain = Some(c.clone());
+                return;
+            }
+            let mut seed: ChainElement = [0u8; 16];
+            ctx.rng.fill(&mut seed);
+            let chain = HashChain::generate(seed, ctx.config.total_intervals);
+            ctx.anchors.publish(ctx.id, chain.anchor());
+            self.chain = Some(chain);
+        }
+    }
+}
+
+impl<P: SyncProtocol> SyncProtocol for FastBeaconAttacker<P> {
+    fn intent(&mut self, ctx: &mut NodeCtx<'_>) -> BeaconIntent {
+        if self.attacking(ctx.local_us) {
+            BeaconIntent::FixedSlot(0)
+        } else {
+            self.inner.intent(ctx)
+        }
+    }
+
+    fn make_beacon(&mut self, ctx: &mut NodeCtx<'_>) -> BeaconPayload {
+        if !self.attacking(ctx.local_us) {
+            return self.inner.make_beacon(ctx);
+        }
+        self.beacons_sent += 1;
+        self.seq = self.seq.wrapping_add(1);
+        let clock = self.inner.clock_us(ctx.local_us);
+        let erroneous = (clock - self.error_us).max(0.0);
+        let body = BeaconBody {
+            src: ctx.id,
+            seq: self.seq,
+            timestamp_us: erroneous as u64,
+            root: ctx.id,
+            hop: 0,
+        };
+        if self.secured {
+            self.ensure_chain(ctx);
+            let j = ((clock / ctx.config.bp_us).round().max(1.0) as usize)
+                .min(ctx.config.total_intervals);
+            let chain = self.chain.as_ref().expect("chain ensured");
+            let auth = sign_with_chain(chain, &body.auth_bytes(), j);
+            BeaconPayload::Secured(body, auth)
+        } else {
+            BeaconPayload::Plain(body)
+        }
+    }
+
+    fn on_tx_outcome(&mut self, ctx: &mut NodeCtx<'_>, collided: bool) {
+        if !self.attacking(ctx.local_us) {
+            self.inner.on_tx_outcome(ctx, collided);
+        }
+        // While attacking, collisions are irrelevant: re-transmit next BP.
+    }
+
+    fn on_beacon(&mut self, ctx: &mut NodeCtx<'_>, rx: ReceivedBeacon) {
+        // Keep the inner clock synchronized (that is what lets the forged
+        // timestamps pass the guard check).
+        self.inner.on_beacon(ctx, rx);
+    }
+
+    fn on_bp_end(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.inner.on_bp_end(ctx);
+    }
+
+    fn clock_us(&self, local_us: f64) -> f64 {
+        self.inner.clock_us(local_us)
+    }
+
+    fn on_join(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.inner.on_join(ctx);
+    }
+
+    fn on_leave(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.inner.on_leave(ctx);
+    }
+
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.inner.init(ctx);
+    }
+
+    fn hash_chain(&self) -> Option<&sstsp_crypto::HashChain> {
+        self.inner.hash_chain()
+    }
+
+    fn is_reference(&self) -> bool {
+        self.inner.is_reference()
+    }
+
+    fn is_synchronized(&self) -> bool {
+        self.inner.is_synchronized()
+    }
+
+    fn name(&self) -> &'static str {
+        "FastBeaconAttacker"
+    }
+
+    fn sstsp_stats(&self) -> Option<protocols::sstsp::SstspStats> {
+        self.inner.sstsp_stats()
+    }
+
+    fn current_reference(&self) -> Option<protocols::api::NodeId> {
+        self.inner.current_reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protocols::api::{AnchorRegistry, ProtocolConfig};
+    use protocols::TsfNode;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    struct Env {
+        config: ProtocolConfig,
+        anchors: AnchorRegistry,
+        rng: ChaCha12Rng,
+    }
+
+    impl Env {
+        fn new() -> Self {
+            Env {
+                config: ProtocolConfig::paper(),
+                anchors: AnchorRegistry::new(),
+                rng: ChaCha12Rng::seed_from_u64(5),
+            }
+        }
+        fn ctx(&mut self, local_us: f64) -> NodeCtx<'_> {
+            NodeCtx {
+                id: 99,
+                local_us,
+                rng: &mut self.rng,
+                anchors: &mut self.anchors,
+                config: &self.config,
+            }
+        }
+    }
+
+    #[test]
+    fn window_containment() {
+        let w = AttackWindow::paper();
+        assert!(!w.contains(399e6));
+        assert!(w.contains(400e6));
+        assert!(w.contains(599e6));
+        assert!(!w.contains(600e6));
+    }
+
+    #[test]
+    fn behaves_honestly_outside_window() {
+        let mut a = FastBeaconAttacker::new(TsfNode::new(), AttackWindow::paper(), 100.0, false);
+        let mut env = Env::new();
+        // At t = 10 s: normal TSF contention.
+        assert_eq!(a.intent(&mut env.ctx(10e6)), BeaconIntent::Contend);
+        let b = a.make_beacon(&mut env.ctx(10e6));
+        assert_eq!(b.body().timestamp_us, 10_000_000);
+        assert_eq!(a.beacons_sent, 0);
+    }
+
+    #[test]
+    fn attacks_at_slot_zero_with_slow_timestamp() {
+        let mut a = FastBeaconAttacker::new(TsfNode::new(), AttackWindow::paper(), 100.0, false);
+        let mut env = Env::new();
+        assert_eq!(a.intent(&mut env.ctx(450e6)), BeaconIntent::FixedSlot(0));
+        let b = a.make_beacon(&mut env.ctx(450e6));
+        assert_eq!(b.body().timestamp_us, 450_000_000 - 100);
+        assert_eq!(a.beacons_sent, 1);
+        assert!(!b.is_secured());
+    }
+
+    #[test]
+    fn secured_mode_signs_with_published_chain() {
+        let mut a = FastBeaconAttacker::new(TsfNode::new(), AttackWindow::paper(), 30.0, true);
+        let mut env = Env::new();
+        let b = a.make_beacon(&mut env.ctx(450e6));
+        assert!(b.is_secured());
+        assert!(env.anchors.get(99).is_some(), "internal attacker's anchor is published");
+        // The forged beacon authenticates against the attacker's own chain.
+        let BeaconPayload::Secured(body, auth) = b else { unreachable!() };
+        let j = auth.interval as usize;
+        let chain = a.chain.as_ref().unwrap();
+        let expected = sign_with_chain(chain, &body.auth_bytes(), j);
+        assert_eq!(auth, expected);
+        assert_eq!(auth.interval, 4_500, "interval from the attacker clock");
+    }
+
+    #[test]
+    fn timestamp_error_stays_within_configured_bound() {
+        let mut a = FastBeaconAttacker::new(TsfNode::new(), AttackWindow::paper(), 30.0, true);
+        let mut env = Env::new();
+        for k in 0..50u64 {
+            let local = 420e6 + k as f64 * 100_000.0;
+            let b = a.make_beacon(&mut env.ctx(local));
+            let err = a.clock_us(local) - b.body().timestamp_us as f64;
+            assert!(err >= 30.0 && err < 31.0, "error drifted to {err}");
+        }
+    }
+
+    #[test]
+    fn collisions_do_not_deter_the_attacker() {
+        let mut a = FastBeaconAttacker::new(TsfNode::new(), AttackWindow::paper(), 10.0, false);
+        let mut env = Env::new();
+        for _ in 0..5 {
+            assert_eq!(a.intent(&mut env.ctx(500e6)), BeaconIntent::FixedSlot(0));
+            a.on_tx_outcome(&mut env.ctx(500e6), true);
+            a.on_bp_end(&mut env.ctx(500e6));
+        }
+        assert_eq!(a.intent(&mut env.ctx(500e6)), BeaconIntent::FixedSlot(0));
+    }
+}

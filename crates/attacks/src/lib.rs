@@ -1,0 +1,35 @@
+//! # attacks — adversary models against 802.11 time synchronization
+//!
+//! The paper's security analysis (Sec. 4) and hostile-environment
+//! evaluation (Figs. 3–4) consider:
+//!
+//! * **internal fast-beacon attacker** ([`fast_beacon`]) — a compromised
+//!   station that transmits a beacon at the start of every BP *without
+//!   random delay*, carrying an erroneous time value slower than its local
+//!   clock, crafted to pass SSTSP's guard-time check. Against TSF this
+//!   wins every contention, suppresses all legitimate beacons and
+//!   desynchronizes the network; against SSTSP it can at most become the
+//!   reference of a slightly skewed virtual clock.
+//! * **replay attacker** ([`replay`]) — records legitimate beacons and
+//!   re-transmits them later to magnify the offset between declared and
+//!   actual time (µTESLA's interval check defeats it).
+//! * **external forger** ([`forger`]) — fabricates secured-looking beacons
+//!   without possessing any authenticated hash chain (the anchor registry
+//!   defeats it).
+//! * **pulse-delay / jamming** — jam-then-relay is modeled through the
+//!   channel's jamming switch plus the replay attacker with sub-BP delay;
+//!   see the integration tests.
+//!
+//! All attackers implement the same [`protocols::SyncProtocol`] trait as
+//! honest stations, so the engine treats them uniformly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fast_beacon;
+pub mod forger;
+pub mod replay;
+
+pub use fast_beacon::{AttackWindow, FastBeaconAttacker};
+pub use forger::ExternalForger;
+pub use replay::ReplayAttacker;

@@ -1,0 +1,193 @@
+//! Replay attacker.
+//!
+//! Records legitimate synchronization beacons and re-transmits them
+//! `delay_bps` beacon periods later "to deliberately magnify the offset of
+//! the time declared in the replayed message and actual time" (Sec. 4).
+//! With `delay_bps = 1` and a jammed original this is the *pulse-delay*
+//! attack of Ganeriwal et al. (the paper's reference \[8\]).
+//!
+//! Against SSTSP the attack is defeated twice over: the µTESLA interval
+//! check rejects beacons whose interval index does not match the receiver's
+//! current interval, and the guard time rejects the stale timestamp.
+
+use protocols::api::{
+    BeaconIntent, BeaconPayload, NodeCtx, ReceivedBeacon, SyncProtocol,
+};
+use std::collections::VecDeque;
+
+/// A station that records and replays beacons.
+pub struct ReplayAttacker {
+    /// Recorded beacons with their age in BPs.
+    tape: VecDeque<(u32, BeaconPayload)>,
+    /// Replay delay in beacon periods (≥ 1).
+    delay_bps: u32,
+    /// Attack window in the attacker's local clock, µs.
+    start_us: f64,
+    /// End of window.
+    end_us: f64,
+    /// Replays transmitted.
+    pub replays_sent: u64,
+    armed: Option<BeaconPayload>,
+}
+
+impl ReplayAttacker {
+    /// Replay each overheard beacon `delay_bps` BPs later during
+    /// `[start_us, end_us)` of the attacker's clock.
+    pub fn new(delay_bps: u32, start_us: f64, end_us: f64) -> Self {
+        assert!(delay_bps >= 1, "replay needs at least one BP of delay");
+        ReplayAttacker {
+            tape: VecDeque::new(),
+            delay_bps,
+            start_us,
+            end_us,
+            replays_sent: 0,
+            armed: None,
+        }
+    }
+
+    fn active(&self, local_us: f64) -> bool {
+        local_us >= self.start_us && local_us < self.end_us
+    }
+}
+
+impl SyncProtocol for ReplayAttacker {
+    fn intent(&mut self, ctx: &mut NodeCtx<'_>) -> BeaconIntent {
+        if !self.active(ctx.local_us) {
+            return BeaconIntent::Silent;
+        }
+        // Age the tape; arm the oldest sufficiently delayed recording.
+        if self.armed.is_none() {
+            if let Some(&(age, payload)) = self.tape.front() {
+                if age >= self.delay_bps {
+                    self.armed = Some(payload);
+                    self.tape.pop_front();
+                }
+            }
+        }
+        if self.armed.is_some() {
+            // Grab the window start so the replay reliably beats honest
+            // contenders (a replayed reference beacon would also be slot 0).
+            BeaconIntent::FixedSlot(0)
+        } else {
+            BeaconIntent::Silent
+        }
+    }
+
+    fn make_beacon(&mut self, _ctx: &mut NodeCtx<'_>) -> BeaconPayload {
+        self.replays_sent += 1;
+        self.armed.take().expect("armed payload present when transmitting")
+    }
+
+    fn on_tx_outcome(&mut self, _ctx: &mut NodeCtx<'_>, _collided: bool) {}
+
+    fn on_beacon(&mut self, _ctx: &mut NodeCtx<'_>, rx: ReceivedBeacon) {
+        // Record everything; cap the tape to a few BPs of material.
+        if self.tape.len() >= 8 {
+            self.tape.pop_front();
+        }
+        self.tape.push_back((0, rx.payload));
+    }
+
+    fn on_bp_end(&mut self, _ctx: &mut NodeCtx<'_>) {
+        for (age, _) in &mut self.tape {
+            *age += 1;
+        }
+    }
+
+    fn clock_us(&self, local_us: f64) -> f64 {
+        // The replay attacker does not maintain a synchronized clock.
+        local_us
+    }
+
+    fn on_join(&mut self, _ctx: &mut NodeCtx<'_>) {}
+
+    fn on_leave(&mut self, _ctx: &mut NodeCtx<'_>) {}
+
+    fn name(&self) -> &'static str {
+        "ReplayAttacker"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mac80211::frame::BeaconBody;
+    use protocols::api::{AnchorRegistry, ProtocolConfig};
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn beacon(ts: u64) -> ReceivedBeacon {
+        ReceivedBeacon {
+            payload: BeaconPayload::Plain(BeaconBody {
+                src: 1,
+                seq: 0,
+                timestamp_us: ts,
+                root: 1,
+                hop: 0,
+            }),
+            local_rx_us: 0.0,
+        }
+    }
+
+    struct Env {
+        config: ProtocolConfig,
+        anchors: AnchorRegistry,
+        rng: ChaCha12Rng,
+    }
+    impl Env {
+        fn new() -> Self {
+            Env {
+                config: ProtocolConfig::paper(),
+                anchors: AnchorRegistry::new(),
+                rng: ChaCha12Rng::seed_from_u64(9),
+            }
+        }
+        fn ctx(&mut self, local_us: f64) -> NodeCtx<'_> {
+            NodeCtx {
+                id: 50,
+                local_us,
+                rng: &mut self.rng,
+                anchors: &mut self.anchors,
+                config: &self.config,
+            }
+        }
+    }
+
+    #[test]
+    fn replays_after_configured_delay() {
+        let mut a = ReplayAttacker::new(2, 0.0, 1e9);
+        let mut env = Env::new();
+        a.on_beacon(&mut env.ctx(0.0), beacon(123));
+        // Not old enough yet.
+        assert_eq!(a.intent(&mut env.ctx(0.0)), BeaconIntent::Silent);
+        a.on_bp_end(&mut env.ctx(0.0));
+        assert_eq!(a.intent(&mut env.ctx(0.0)), BeaconIntent::Silent);
+        a.on_bp_end(&mut env.ctx(0.0));
+        // Two BPs old: armed.
+        assert_eq!(a.intent(&mut env.ctx(0.0)), BeaconIntent::FixedSlot(0));
+        let b = a.make_beacon(&mut env.ctx(0.0));
+        assert_eq!(b.body().timestamp_us, 123);
+        assert_eq!(a.replays_sent, 1);
+    }
+
+    #[test]
+    fn inactive_outside_window() {
+        let mut a = ReplayAttacker::new(1, 100.0, 200.0);
+        let mut env = Env::new();
+        a.on_beacon(&mut env.ctx(0.0), beacon(5));
+        a.on_bp_end(&mut env.ctx(0.0));
+        assert_eq!(a.intent(&mut env.ctx(0.0)), BeaconIntent::Silent);
+        assert_eq!(a.intent(&mut env.ctx(150.0)), BeaconIntent::FixedSlot(0));
+        assert_eq!(a.intent(&mut env.ctx(250.0)), BeaconIntent::Silent);
+    }
+
+    #[test]
+    fn tape_is_bounded() {
+        let mut a = ReplayAttacker::new(1, 0.0, 1e9);
+        let mut env = Env::new();
+        for i in 0..100u64 {
+            a.on_beacon(&mut env.ctx(0.0), beacon(i));
+        }
+        assert!(a.tape.len() <= 8);
+    }
+}

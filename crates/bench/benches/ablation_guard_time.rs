@@ -1,0 +1,20 @@
+//! Ablation bench: guard time δ against the internal fast-beacon attacker.
+//! Prints the regenerated sweep, then times the reduced sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sstsp::experiments::{ablation, Fidelity};
+use sstsp_bench::{regen_fidelity, sim_criterion, REGEN_SEED};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ablation::guard_sweep(regen_fidelity(), REGEN_SEED).render());
+    c.bench_function("ablation/guard_sweep_quick_kernel", |b| {
+        b.iter(|| ablation::guard_sweep(Fidelity::Quick, std::hint::black_box(1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sim_criterion();
+    targets = bench
+}
+criterion_main!(benches);

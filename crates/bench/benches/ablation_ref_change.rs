@@ -1,0 +1,21 @@
+//! Ablation bench: the (m, l) interaction at a reference change (Lemma 2
+//! predicts the optimum at m = l + 3). Prints the regenerated grid, then
+//! times the reduced grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sstsp::experiments::{ablation, Fidelity};
+use sstsp_bench::{regen_fidelity, sim_criterion, REGEN_SEED};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ablation::ref_change(regen_fidelity(), REGEN_SEED).render());
+    c.bench_function("ablation/ref_change_quick_kernel", |b| {
+        b.iter(|| ablation::ref_change(Fidelity::Quick, std::hint::black_box(1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sim_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! The Sec. 3.4 overhead accounting plus crypto microbenchmarks: hashing
+//! throughput, hash-chain generation and traversal strategies, µTESLA
+//! sign/verify latency — the numbers behind the paper's claim that hash
+//! operations are "three to four orders of magnitude faster than
+//! asymmetric operations" and cheap enough for on-the-fly beacon
+//! processing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sstsp::experiments::overhead;
+use sstsp_crypto::chain::chain_step;
+use sstsp_crypto::hmac::hmac_sha256_128;
+use sstsp_crypto::{
+    sha256, FractalTraverser, HashChain, IntervalSchedule, MuTeslaSigner, MuTeslaVerifier,
+};
+
+fn bench(c: &mut Criterion) {
+    // The measured overhead report (Sec. 3.4 reproduction).
+    println!("{}", overhead::run().render());
+
+    let mut g = c.benchmark_group("crypto");
+
+    g.throughput(Throughput::Bytes(92));
+    g.bench_function("sha256/92B_beacon", |b| {
+        let beacon = [0xA5u8; 92];
+        b.iter(|| sha256(std::hint::black_box(&beacon)))
+    });
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("sha256/1MiB", |b| {
+        let data = vec![0x5Au8; 1 << 20];
+        b.iter(|| sha256(std::hint::black_box(&data)))
+    });
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("hmac128/beacon_auth", |b| {
+        let key = [7u8; 16];
+        let msg = [0x42u8; 36];
+        b.iter(|| hmac_sha256_128(std::hint::black_box(&key), std::hint::black_box(&msg)))
+    });
+
+    g.bench_function("chain/step", |b| {
+        let x = [9u8; 16];
+        b.iter(|| chain_step(std::hint::black_box(&x)))
+    });
+
+    g.bench_function("chain/generate_10100", |b| {
+        b.iter(|| HashChain::generate(std::hint::black_box([1u8; 16]), 10_100))
+    });
+
+    g.bench_function("chain/fractal_full_traversal_4096", |b| {
+        b.iter(|| {
+            let mut t = FractalTraverser::new([2u8; 16], 4096);
+            let mut last = None;
+            while let Some(e) = t.next_element() {
+                last = Some(e);
+            }
+            last
+        })
+    });
+
+    // µTESLA: one signed beacon, then verification in the two receiver
+    // regimes the protocol actually exercises.
+    let sched = IntervalSchedule::new(0.0, 100_000.0, 10_000);
+    let signer = MuTeslaSigner::new([3u8; 16], sched);
+    let payload = [0x11u8; 32];
+
+    g.bench_function("mutesla/sign_interval_5000", |b| {
+        b.iter(|| signer.sign(std::hint::black_box(&payload), 5_000))
+    });
+
+    g.bench_function("mutesla/verify_cold_interval_200", |b| {
+        // Cold verifier: the disclosed key walks j-1 hashes to the anchor.
+        let auth = signer.sign(&payload, 200);
+        b.iter(|| {
+            let mut v = MuTeslaVerifier::new(signer.anchor(), sched);
+            v.observe(&payload, &auth, sched.expected_emission_us(200))
+                .unwrap()
+        })
+    });
+
+    g.bench_function("mutesla/verify_warm_consecutive", |b| {
+        // Warm verifier: cached key one step away — the steady-state cost
+        // every SSTSP receiver pays per beacon.
+        let a1 = signer.sign(&payload, 1);
+        let a2 = signer.sign(&payload, 2);
+        b.iter(|| {
+            let mut v = MuTeslaVerifier::new(signer.anchor(), sched);
+            v.observe(&payload, &a1, sched.expected_emission_us(1)).unwrap();
+            v.observe(&payload, &a2, sched.expected_emission_us(2)).unwrap()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Engine throughput: node-BP steps per second across network sizes and
+//! protocols. This is the simulator's own performance envelope — the
+//! figure-regeneration cost is (stations × beacon periods) × per-step
+//! work, dominated for SSTSP by one HMAC verification per delivered
+//! beacon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sstsp::{Network, ProtocolKind, ScenarioConfig};
+use sstsp_bench::sim_criterion;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    let duration_s = 20.0;
+    for &n in &[25u32, 50, 100] {
+        let bps = (duration_s * 10.0) as u64;
+        g.throughput(Throughput::Elements(n as u64 * bps));
+        for kind in [ProtocolKind::Tsf, ProtocolKind::Sstsp] {
+            g.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &(kind, n),
+                |b, &(kind, n)| {
+                    b.iter(|| {
+                        let cfg = ScenarioConfig::new(kind, n, duration_s, 3);
+                        Network::build(std::hint::black_box(&cfg)).run()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = sim_criterion();
+    targets = bench
+}
+criterion_main!(benches);

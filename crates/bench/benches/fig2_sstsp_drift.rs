@@ -1,0 +1,31 @@
+//! Bench target for **Figure 2**: maximum clock difference of SSTSP at 500
+//! stations, m = 4, with churn and reference departures. Prints the
+//! regenerated figure (≈15 s at paper fidelity: every beacon is
+//! HMAC-verified), then times the reduced kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sstsp::experiments::{fig2, Fidelity};
+use sstsp_bench::{regen_fidelity, sim_criterion, REGEN_SEED};
+
+fn regenerate() {
+    let fig = fig2::run(regen_fidelity(), REGEN_SEED);
+    println!("{}", fig.render());
+    println!(
+        "shape vs paper (< 10 µs after stabilization, survives ref changes): {}\n",
+        if fig.shape_holds() { "HOLDS" } else { "DEVIATES" }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    c.bench_function("fig2/sstsp_quick_kernel", |b| {
+        b.iter(|| fig2::run(Fidelity::Quick, std::hint::black_box(1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sim_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench target for **Figure 3**: TSF under the fast-beacon attacker
+//! (active 400–600 s). Prints the regenerated figure, then times the
+//! reduced kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sstsp::experiments::{fig3, Fidelity};
+use sstsp_bench::{regen_fidelity, sim_criterion, REGEN_SEED};
+
+fn regenerate() {
+    let fig = fig3::run(regen_fidelity(), REGEN_SEED);
+    println!("{}", fig.render());
+    println!(
+        "shape vs paper (attack desynchronizes TSF by orders of magnitude): {}\n",
+        if fig.shape_holds() { "HOLDS" } else { "DEVIATES" }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    c.bench_function("fig3/tsf_attack_quick_kernel", |b| {
+        b.iter(|| fig3::run(Fidelity::Quick, std::hint::black_box(1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sim_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench target for **Figure 4**: SSTSP under the same fast-beacon
+//! attacker, 500 stations. Prints the regenerated figure, then times the
+//! reduced kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sstsp::experiments::{fig4, Fidelity};
+use sstsp_bench::{regen_fidelity, sim_criterion, REGEN_SEED};
+
+fn regenerate() {
+    let fig = fig4::run(regen_fidelity(), REGEN_SEED);
+    println!("{}", fig.render());
+    println!(
+        "shape vs paper (attacker cannot desynchronize SSTSP): {}\n",
+        if fig.shape_holds() { "HOLDS" } else { "DEVIATES" }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    c.bench_function("fig4/sstsp_attack_quick_kernel", |b| {
+        b.iter(|| fig4::run(Fidelity::Quick, std::hint::black_box(1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sim_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Extension bench: SSTSP over multi-hop topologies (the paper's future
+//! work). Prints the per-hop error table, then times the reduced kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sstsp::experiments::{multihop, Fidelity};
+use sstsp_bench::{regen_fidelity, sim_criterion, REGEN_SEED};
+
+fn bench(c: &mut Criterion) {
+    let m = multihop::run(regen_fidelity(), REGEN_SEED);
+    println!("{}", m.render());
+    println!(
+        "extension shape (line tight, grid merged): {}\n",
+        if m.shape_holds() { "HOLDS" } else { "DEVIATES" }
+    );
+    c.bench_function("multihop/line_grid_quick_kernel", |b| {
+        b.iter(|| multihop::run(Fidelity::Quick, std::hint::black_box(11)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sim_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench target for **Table 1**: synchronization latency and error vs the
+//! aggressiveness parameter m ∈ 1..=5. Prints the regenerated table, then
+//! times the reduced sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sstsp::experiments::{table1, Fidelity};
+use sstsp_bench::{regen_fidelity, sim_criterion, REGEN_SEED};
+
+fn regenerate() {
+    let t = table1::run(regen_fidelity(), REGEN_SEED);
+    println!("{}", t.render());
+    println!(
+        "shape vs paper (latency grows with m; error flattens ≤ 25 µs): {}\n",
+        if t.shape_holds() { "HOLDS" } else { "DEVIATES" }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    c.bench_function("table1/m_sweep_quick_kernel", |b| {
+        b.iter(|| table1::run(Fidelity::Quick, std::hint::black_box(1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sim_criterion();
+    targets = bench
+}
+criterion_main!(benches);

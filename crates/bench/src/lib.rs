@@ -1,0 +1,33 @@
+//! Shared plumbing for the benchmark targets in `benches/`.
+//!
+//! Every bench target does two things:
+//!
+//! 1. **regenerates its table/figure** at paper fidelity and prints the
+//!    same rows/series the paper reports (set `SSTSP_BENCH_FIDELITY=quick`
+//!    to shrink the regeneration for smoke runs), then
+//! 2. **times a reduced-scale kernel** of the same experiment under
+//!    Criterion, so `cargo bench` tracks the simulator's performance.
+
+use sstsp::experiments::Fidelity;
+
+/// Fidelity for the figure-regeneration pass, from
+/// `SSTSP_BENCH_FIDELITY` (`paper` default, `quick` to shrink).
+pub fn regen_fidelity() -> Fidelity {
+    match std::env::var("SSTSP_BENCH_FIDELITY").as_deref() {
+        Ok("quick") => Fidelity::Quick,
+        _ => Fidelity::Paper,
+    }
+}
+
+/// The seed every regeneration uses (fixed: figures are deterministic).
+pub const REGEN_SEED: u64 = 2006;
+
+/// Standard Criterion configuration for simulation kernels: few samples,
+/// short measurement windows — each kernel iteration is a full simulation
+/// run, not a microsecond-scale function.
+pub fn sim_criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}

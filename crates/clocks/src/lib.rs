@@ -1,0 +1,30 @@
+//! # clocks — the clock substrate for 802.11 time synchronization
+//!
+//! Three layers, mirroring the paper's clock model (Sec. 3.3 and footnote 2):
+//!
+//! 1. [`Oscillator`] — a node's free-running hardware oscillator, modeled as
+//!    a linear function of real time with a relative frequency drawn from
+//!    `[1 − ρ, 1 + ρ]` (the paper uses ρ = 0.01 %) and an initial phase
+//!    offset. This produces the node's *local unadjusted time* `t_i`.
+//! 2. [`TsfTimer`] — the IEEE 802.11 TSF timer: a 64-bit counter with 1 µs
+//!    resolution driven by the oscillator, supporting the TSF adoption rule
+//!    ("set to the received timestamp if it is later"). This is the clock
+//!    TSF (and the ATSP/TATSP/SATSF baselines) synchronize.
+//! 3. [`AdjustedClock`] — SSTSP's software clock `c_i(t_i) = kʲ·t_i + bʲ`
+//!    over local unadjusted time, with the continuity-preserving
+//!    re-targeting rule of equations (2)–(5). SSTSP synchronizes *this*
+//!    clock and never steps the hardware timer, which is how it guarantees
+//!    the absence of backward or discontinuous leaps.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adjusted;
+pub mod drift;
+pub mod oscillator;
+pub mod tsf_timer;
+
+pub use adjusted::{AdjustedClock, RetargetError, SyncSample};
+pub use drift::DriftModel;
+pub use oscillator::Oscillator;
+pub use tsf_timer::TsfTimer;

@@ -1,0 +1,191 @@
+//! `sstsp-sim` — run one synchronization scenario from the command line.
+//!
+//! ```text
+//! sstsp-sim --protocol sstsp --nodes 100 --duration 60 --seed 1 --chart
+//! sstsp-sim --protocol tsf --nodes 300 --duration 1000 --csv out.csv
+//! sstsp-sim --protocol sstsp --nodes 500 --m 4 --attack 400,600,30 --chart
+//! ```
+//!
+//! Flags:
+//!
+//! | flag | meaning | default |
+//! |------|---------|---------|
+//! | `--protocol tsf\|atsp\|tatsp\|satsf\|asp\|rk\|sstsp` | protocol | sstsp |
+//! | `--nodes N` | station count | 50 |
+//! | `--duration S` | simulated seconds | 60 |
+//! | `--seed N` | master seed | 1 |
+//! | `--m N` / `--l N` | SSTSP parameters | 4 / 1 |
+//! | `--guard US` | fine guard time δ in µs | 300 |
+//! | `--per P` | packet error rate | 1e-4 |
+//! | `--churn PERIOD,FRACTION,ABSENCE` | station churn | off |
+//! | `--ref-leaves T1,T2,...` | reference departure times (s) | none |
+//! | `--attack START,END,ERROR_US` | fast-beacon attacker | off |
+//! | `--jam START,END` | jamming window (repeatable) | none |
+//! | `--chart` | print the ASCII spread chart | off |
+//! | `--csv PATH` | write the spread series as CSV | off |
+
+use sstsp::scenario::{AttackerSpec, ChurnConfig, JamWindow};
+use sstsp::{Network, ProtocolKind, ScenarioConfig};
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\nsee `sstsp-sim` source header for flags");
+    std::process::exit(2)
+}
+
+fn parse_list(s: &str, n: usize, flag: &str) -> Vec<f64> {
+    let parts: Vec<f64> = s
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("bad number '{p}' in {flag}")))
+        })
+        .collect();
+    if n > 0 && parts.len() != n {
+        usage(&format!("{flag} expects {n} comma-separated numbers"));
+    }
+    parts
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut protocol = ProtocolKind::Sstsp;
+    let mut nodes = 50u32;
+    let mut duration = 60.0f64;
+    let mut seed = 1u64;
+    let mut m = None::<u32>;
+    let mut l = None::<u32>;
+    let mut guard = None::<f64>;
+    let mut per = None::<f64>;
+    let mut churn = None::<ChurnConfig>;
+    let mut ref_leaves: Vec<f64> = Vec::new();
+    let mut attack = None::<AttackerSpec>;
+    let mut jams: Vec<JamWindow> = Vec::new();
+    let mut chart = false;
+    let mut csv = None::<String>;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match flag.as_str() {
+            "--protocol" => {
+                protocol = match val().to_lowercase().as_str() {
+                    "tsf" => ProtocolKind::Tsf,
+                    "atsp" => ProtocolKind::Atsp,
+                    "tatsp" => ProtocolKind::Tatsp,
+                    "satsf" => ProtocolKind::Satsf,
+                    "asp" => ProtocolKind::Asp,
+                    "rk" => ProtocolKind::Rk,
+                    "sstsp" => ProtocolKind::Sstsp,
+                    other => usage(&format!("unknown protocol '{other}'")),
+                }
+            }
+            "--nodes" => nodes = val().parse().unwrap_or_else(|_| usage("bad --nodes")),
+            "--duration" => duration = val().parse().unwrap_or_else(|_| usage("bad --duration")),
+            "--seed" => seed = val().parse().unwrap_or_else(|_| usage("bad --seed")),
+            "--m" => m = Some(val().parse().unwrap_or_else(|_| usage("bad --m"))),
+            "--l" => l = Some(val().parse().unwrap_or_else(|_| usage("bad --l"))),
+            "--guard" => guard = Some(val().parse().unwrap_or_else(|_| usage("bad --guard"))),
+            "--per" => per = Some(val().parse().unwrap_or_else(|_| usage("bad --per"))),
+            "--churn" => {
+                let v = parse_list(&val(), 3, "--churn");
+                churn = Some(ChurnConfig {
+                    period_s: v[0],
+                    fraction: v[1],
+                    absence_s: v[2],
+                });
+            }
+            "--ref-leaves" => ref_leaves = parse_list(&val(), 0, "--ref-leaves"),
+            "--attack" => {
+                let v = parse_list(&val(), 3, "--attack");
+                attack = Some(AttackerSpec {
+                    start_s: v[0],
+                    end_s: v[1],
+                    error_us: v[2],
+                });
+            }
+            "--jam" => {
+                let v = parse_list(&val(), 2, "--jam");
+                jams.push(JamWindow {
+                    start_s: v[0],
+                    end_s: v[1],
+                });
+            }
+            "--chart" => chart = true,
+            "--csv" => csv = Some(val()),
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+    }
+
+    let mut cfg = ScenarioConfig::new(protocol, nodes, duration, seed);
+    if let Some(m) = m {
+        cfg = cfg.with_m(m);
+    }
+    if let Some(l) = l {
+        cfg = cfg.with_l(l);
+    }
+    if let Some(g) = guard {
+        cfg.protocol_config.guard_fine_us = g;
+    }
+    if let Some(p) = per {
+        cfg.per = p;
+    }
+    cfg.churn = churn;
+    cfg.ref_leaves_s = ref_leaves;
+    cfg.attacker = attack;
+    cfg.jam_windows = jams;
+
+    eprintln!(
+        "running {} × {} stations for {} s (seed {seed})...",
+        cfg.protocol.name(),
+        cfg.n_nodes,
+        cfg.duration_s
+    );
+    let r = Network::build(&cfg).run();
+
+    if chart {
+        println!("{}", sstsp::report::render_series_chart(&r.spread, 72, 12));
+    }
+    println!("protocol:            {}", r.protocol);
+    println!("stations:            {}", r.n_nodes);
+    println!(
+        "sync latency:        {}",
+        r.sync_latency_s
+            .map_or("never".into(), |v| format!("{v:.2} s"))
+    );
+    println!(
+        "steady error:        {}",
+        r.steady_error_us
+            .map_or("-".into(), |v| format!("{v:.1} µs"))
+    );
+    println!("peak spread:         {:.1} µs", r.peak_spread_us);
+    println!(
+        "beacons:             {} ok / {} collided / {} silent / {} jammed",
+        r.tx_successes, r.tx_collisions, r.silent_windows, r.jammed_windows
+    );
+    println!("reference changes:   {}", r.reference_changes);
+    if cfg.attacker.is_some() {
+        println!("attacker became ref: {}", r.attacker_became_reference);
+    }
+    if r.guard_rejections + r.mutesla_rejections > 0 {
+        println!(
+            "rejected beacons:    {} guard / {} µTESLA",
+            r.guard_rejections, r.mutesla_rejections
+        );
+    }
+    if r.alerts > 0 {
+        println!("attack alerts:       {}", r.alerts);
+    }
+
+    if let Some(path) = csv {
+        std::fs::write(&path, r.spread.to_csv()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {} samples to {path}", r.spread.len());
+    }
+}

@@ -1,0 +1,277 @@
+//! Ablations over the design choices DESIGN.md calls out.
+//!
+//! * [`ref_change`] — the (m, l) interaction at a reference change.
+//!   Lemma 2 predicts the post-change error ratio `D⁺/D⁻ ≈ |m − l − 3| / m`
+//!   with the optimum at `m = l + 3`; the ablation forces one reference
+//!   departure and measures the spike and the recovery time.
+//! * [`guard_sweep`] — the guard time δ against the internal fast-beacon
+//!   attacker: larger δ admits proportionally larger attacker-induced
+//!   offsets, while a δ tighter than the legitimate error budget starts
+//!   rejecting honest beacons.
+
+use super::Fidelity;
+use crate::report::render_table;
+use crate::scenario::{AttackerSpec, ProtocolKind, ScenarioConfig};
+use crate::sweep::run_configs;
+use simcore::SimTime;
+
+/// One (m, l) cell of the reference-change ablation.
+#[derive(Debug, Clone)]
+pub struct RefChangeRow {
+    /// Aggressiveness parameter.
+    pub m: u32,
+    /// Loss-tolerance parameter.
+    pub l: u32,
+    /// Max spread in the 10 BPs before the forced departure, µs.
+    pub pre_spike_us: f64,
+    /// Max spread in the window after the departure, µs.
+    pub post_spike_us: f64,
+    /// Seconds from departure until the spread re-enters 25 µs.
+    pub recovery_s: Option<f64>,
+}
+
+/// Reference-change ablation output.
+pub struct RefChangeAblation {
+    /// All (m, l) cells.
+    pub rows: Vec<RefChangeRow>,
+    /// Departure instant used, seconds.
+    pub leave_s: f64,
+}
+
+/// Run the (m, l) grid.
+pub fn ref_change(fid: Fidelity, seed: u64) -> RefChangeAblation {
+    let duration = fid.secs(400.0);
+    let leave_s = duration / 2.0;
+    let ms = [1u32, 2, 3, 4, 5];
+    let ls = [1u32, 2];
+    let mut configs = Vec::new();
+    for &l in &ls {
+        for &m in &ms {
+            let mut cfg =
+                ScenarioConfig::new(ProtocolKind::Sstsp, fid.n(200), duration, seed)
+                    .with_m(m)
+                    .with_l(l);
+            cfg.ref_leaves_s = vec![leave_s];
+            configs.push(cfg);
+        }
+    }
+    let results = run_configs(&configs);
+    let mut rows = Vec::new();
+    for (cfg, r) in configs.iter().zip(&results) {
+        let bp_s = cfg.protocol_config.bp_us / 1e6;
+        let pre = r
+            .spread
+            .max_in(
+                SimTime::from_secs_f64(leave_s - 10.0 * bp_s),
+                SimTime::from_secs_f64(leave_s),
+            )
+            .unwrap_or(f64::NAN);
+        let post_window_end = leave_s + duration * 0.2;
+        let post = r
+            .spread
+            .max_in(
+                SimTime::from_secs_f64(leave_s),
+                SimTime::from_secs_f64(post_window_end),
+            )
+            .unwrap_or(f64::NAN);
+        // Recovery: time until the spread is back under 25 µs after the
+        // departure. If the departure never pushed it over 25 µs the
+        // disturbance was absorbed instantly (recovery 0).
+        let spiked = r
+            .spread
+            .iter()
+            .skip_while(|(t, _)| t.as_secs_f64() < leave_s)
+            .take_while(|(t, _)| t.as_secs_f64() < post_window_end)
+            .any(|(_, v)| v > 25.0);
+        let recovery_s = if !spiked {
+            Some(0.0)
+        } else {
+            r.spread
+                .iter()
+                .skip_while(|(t, _)| t.as_secs_f64() < leave_s)
+                .skip_while(|(_, v)| *v <= 25.0)
+                .find(|(_, v)| *v <= 25.0)
+                .map(|(t, _)| t.as_secs_f64() - leave_s)
+        };
+        rows.push(RefChangeRow {
+            m: cfg.protocol_config.m,
+            l: cfg.protocol_config.l,
+            pre_spike_us: pre,
+            post_spike_us: post,
+            recovery_s,
+        });
+    }
+    RefChangeAblation { rows, leave_s }
+}
+
+impl RefChangeAblation {
+    /// Render the grid.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.m.to_string(),
+                    r.l.to_string(),
+                    format!("{:.1}", r.pre_spike_us),
+                    format!("{:.1}", r.post_spike_us),
+                    r.recovery_s
+                        .map_or("-".into(), |s| format!("{s:.1}s")),
+                ]
+            })
+            .collect();
+        format!(
+            "Ablation — reference change at {:.0} s: (m, l) vs spike and recovery\n{}",
+            self.leave_s,
+            render_table(
+                &["m", "l", "pre-spike µs", "post-spike µs", "recovery"],
+                &rows
+            )
+        )
+    }
+}
+
+/// One δ cell of the guard-time sweep.
+#[derive(Debug, Clone)]
+pub struct GuardRow {
+    /// Guard time δ, µs.
+    pub delta_us: f64,
+    /// Attacker timestamp error, µs.
+    pub attacker_error_us: f64,
+    /// Peak honest spread during the attack, µs.
+    pub peak_during_attack_us: f64,
+    /// Whether the attacker captured the reference role.
+    pub attacker_became_reference: bool,
+    /// Guard rejections over the run (resistance evidence).
+    pub guard_rejections: u64,
+}
+
+/// Guard-time sweep output.
+pub struct GuardSweep {
+    /// One row per δ.
+    pub rows: Vec<GuardRow>,
+}
+
+/// Sweep the guard time against a fixed attacker error.
+pub fn guard_sweep(fid: Fidelity, seed: u64) -> GuardSweep {
+    let duration = fid.secs(600.0);
+    let start_s = duration * 0.4;
+    let end_s = duration * 0.8;
+    let attacker_error = 30.0;
+    let deltas = [10.0f64, 25.0, 50.0, 100.0, 400.0];
+    let configs: Vec<ScenarioConfig> = deltas
+        .iter()
+        .map(|&delta| {
+            let mut cfg =
+                ScenarioConfig::new(ProtocolKind::Sstsp, fid.n(200), duration, seed).with_m(4);
+            cfg.protocol_config.guard_fine_us = delta;
+            cfg.attacker = Some(AttackerSpec {
+                start_s,
+                end_s,
+                error_us: attacker_error,
+            });
+            cfg
+        })
+        .collect();
+    let results = run_configs(&configs);
+    let rows = deltas
+        .iter()
+        .zip(&results)
+        .map(|(&delta, r)| GuardRow {
+            delta_us: delta,
+            attacker_error_us: attacker_error,
+            peak_during_attack_us: r
+                .spread
+                .max_in(
+                    SimTime::from_secs_f64(start_s + 5.0),
+                    SimTime::from_secs_f64(end_s),
+                )
+                .unwrap_or(f64::NAN),
+            attacker_became_reference: r.attacker_became_reference,
+            guard_rejections: r.guard_rejections,
+        })
+        .collect();
+    GuardSweep { rows }
+}
+
+impl GuardSweep {
+    /// Render the sweep.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0}", r.delta_us),
+                    format!("{:.0}", r.attacker_error_us),
+                    format!("{:.1}", r.peak_during_attack_us),
+                    r.attacker_became_reference.to_string(),
+                    r.guard_rejections.to_string(),
+                ]
+            })
+            .collect();
+        format!(
+            "Ablation — guard time δ vs fast-beacon attacker (error 30 µs)\n{}",
+            render_table(
+                &[
+                    "δ µs",
+                    "attacker err µs",
+                    "peak spread µs",
+                    "attacker is ref",
+                    "guard rejections"
+                ],
+                &rows
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ref_change_grid_runs() {
+        let a = ref_change(Fidelity::Quick, 7);
+        assert_eq!(a.rows.len(), 10);
+        assert!(a.render().contains("reference change"));
+        // Every configuration recovers eventually at quick scale.
+        let recovered = a.rows.iter().filter(|r| r.recovery_s.is_some()).count();
+        assert!(recovered >= 8, "only {recovered}/10 cells recovered");
+    }
+
+    #[test]
+    fn guard_sweep_blocks_or_admits() {
+        let g = guard_sweep(Fidelity::Quick, 7);
+        assert_eq!(g.rows.len(), 5);
+        // With δ above the attacker error (30 µs) the forged timestamps are
+        // accepted and the honest network stays internally synchronized
+        // (the paper's Fig. 4 claim).
+        for r in g.rows.iter().filter(|r| r.delta_us > r.attacker_error_us) {
+            assert!(
+                r.peak_during_attack_us < 200.0,
+                "δ={} blew up: {:.1} µs",
+                r.delta_us,
+                r.peak_during_attack_us
+            );
+        }
+        // δ below the attacker error forces guard rejections. What
+        // follows is drift-dependent: members whose clocks drift *toward*
+        // the attacker's claimed time eventually close the gap and get
+        // captured (the injected error is effectively capped at ≈ δ);
+        // members drifting away free-run. Depending on the drift draw the
+        // network either partitions (large spread) or converges onto the
+        // attacker with a delay — the robust invariant is that resistance
+        // happened at all, which the rows with δ ≥ error never show.
+        for r in g.rows.iter().filter(|r| r.delta_us < r.attacker_error_us) {
+            assert!(
+                r.guard_rejections > 50,
+                "δ={} should visibly resist (got {} rejections)",
+                r.delta_us,
+                r.guard_rejections
+            );
+        }
+        assert!(g.render().contains("guard time"));
+    }
+}

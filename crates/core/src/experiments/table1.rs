@@ -1,0 +1,125 @@
+//! **Table 1** — synchronization latency and error vs the aggressiveness
+//! parameter `m`.
+//!
+//! Setup per the paper: initial clock offsets in (−112 µs, 112 µs); the
+//! network counts as synchronized when the maximum clock difference between
+//! any two stations stays under 25 µs. Larger `m` converges more slowly
+//! (higher latency) but the steady error flattens around 6–7 µs from m ≥ 2.
+
+use super::Fidelity;
+use crate::report::render_table;
+use crate::scenario::{ProtocolKind, ScenarioConfig};
+use crate::sweep::run_configs;
+use simcore::SimTime;
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Aggressiveness parameter.
+    pub m: u32,
+    /// Synchronization latency, seconds (`None` = never synchronized).
+    pub latency_s: Option<f64>,
+    /// Steady-state synchronization error (max spread after sync), µs.
+    pub error_us: Option<f64>,
+}
+
+/// Table 1 output.
+pub struct Table1 {
+    /// Rows for m = 1..=5.
+    pub rows: Vec<Row>,
+}
+
+/// Reproduce Table 1.
+pub fn run(fid: Fidelity, seed: u64) -> Table1 {
+    let configs: Vec<ScenarioConfig> = (1..=5u32)
+        .map(|m| {
+            // Clean-room setup: no churn, no departures, no attacker — the
+            // table isolates the convergence behaviour.
+            ScenarioConfig::new(
+                ProtocolKind::Sstsp,
+                fid.n(500),
+                fid.secs(400.0),
+                seed,
+            )
+            .with_m(m)
+        })
+        .collect();
+    let results = run_configs(&configs);
+    let duration = configs[0].duration_s;
+    let rows = results
+        .iter()
+        .zip(1..=5u32)
+        .map(|(r, m)| Row {
+            m,
+            latency_s: r.sync_latency_s,
+            // Steady-state error: max spread over the final quarter of the
+            // run, well past the convergence transient (the paper's
+            // "synchronization error" column).
+            error_us: r.spread.max_in(
+                SimTime::from_secs_f64(duration * 0.75),
+                SimTime::from_secs_f64(duration),
+            ),
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl Table1 {
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.m.to_string(),
+                    r.latency_s
+                        .map_or("never".into(), |l| format!("{l:.1}s")),
+                    r.error_us.map_or("-".into(), |e| format!("{e:.0}µs")),
+                ]
+            })
+            .collect();
+        format!(
+            "Table 1 — Maximum clock difference & synchronization latency vs m\n{}",
+            render_table(&["m", "Synchronization latency", "Synchronization error"], &rows)
+        )
+    }
+
+    /// The paper's qualitative claims: every m synchronizes; latency is
+    /// non-decreasing in m (modulo one-sample jitter); the error flattens
+    /// for m ≥ 2.
+    pub fn shape_holds(&self) -> bool {
+        if self.rows.iter().any(|r| r.latency_s.is_none()) {
+            return false;
+        }
+        let lat: Vec<f64> = self.rows.iter().map(|r| r.latency_s.unwrap()).collect();
+        let err: Vec<f64> = self.rows.iter().map(|r| r.error_us.unwrap()).collect();
+        // Latency grows from m=1 to m=5 overall.
+        let latency_grows = lat[4] >= lat[0];
+        // All steady errors meet the 25 µs industrial bound.
+        let errors_small = err.iter().all(|&e| e <= 25.0);
+        latency_grows && errors_small
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table1_rows_and_shape() {
+        let t = run(Fidelity::Quick, 42);
+        assert_eq!(t.rows.len(), 5);
+        for r in &t.rows {
+            assert!(
+                r.latency_s.is_some(),
+                "m={} never synchronized",
+                r.m
+            );
+            assert!(r.error_us.unwrap() <= 25.0, "m={} error {:?}", r.m, r.error_us);
+        }
+        let text = t.render();
+        assert!(text.contains("Table 1"));
+        assert!(text.lines().count() >= 7);
+    }
+}

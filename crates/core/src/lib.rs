@@ -1,0 +1,41 @@
+//! # sstsp — the SSTSP reproduction harness
+//!
+//! This crate ties the substrates together into the system the paper
+//! evaluates:
+//!
+//! * [`scenario`] — declarative scenario configuration (protocol, network
+//!   size, churn, reference departures, attacker, seeds) with constructors
+//!   matching each of the paper's experiments;
+//! * [`engine`] — the network simulation engine: drives every node through
+//!   beacon periods on the shared single-collision-domain channel, applies
+//!   churn and attacks, and records the maximum-clock-difference series;
+//! * [`experiments`] — one module per table/figure of the paper, each
+//!   producing the exact rows/series the paper reports;
+//! * [`sweep`] — rayon-parallel seed and parameter sweeps (deterministic
+//!   per seed, parallel across runs);
+//! * [`report`] — plain-text rendering of series and tables.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sstsp::scenario::{ProtocolKind, ScenarioConfig};
+//! use sstsp::engine::Network;
+//!
+//! // 30 SSTSP stations for 20 seconds of simulated time.
+//! let cfg = ScenarioConfig::new(ProtocolKind::Sstsp, 30, 20.0, 42);
+//! let result = Network::build(&cfg).run();
+//! let spread = result.spread.values();
+//! assert!(spread.last().unwrap() < &25.0, "network synchronized");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod experiments;
+pub mod report;
+pub mod scenario;
+pub mod sweep;
+
+pub use engine::{Network, RunResult};
+pub use scenario::{AttackerSpec, ChurnConfig, ProtocolKind, ScenarioConfig};

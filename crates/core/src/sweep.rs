@@ -1,0 +1,79 @@
+//! Parallel seed / parameter sweeps.
+//!
+//! Runs are embarrassingly parallel and each is a pure function of its
+//! seed, so sweeps parallelize over *runs* with rayon while staying
+//! bit-reproducible regardless of thread count (the hpc-parallel
+//! data-parallelism discipline: never share mutable state across runs).
+
+use crate::engine::{Network, RunResult};
+use crate::scenario::ScenarioConfig;
+use rayon::prelude::*;
+
+/// Run `base` once per seed, in parallel.
+pub fn run_seeds(base: &ScenarioConfig, seeds: &[u64]) -> Vec<RunResult> {
+    seeds
+        .par_iter()
+        .map(|&seed| {
+            let mut cfg = base.clone();
+            cfg.seed = seed;
+            Network::build(&cfg).run()
+        })
+        .collect()
+}
+
+/// Run each scenario in parallel (parameter sweeps: one config per point).
+pub fn run_configs(configs: &[ScenarioConfig]) -> Vec<RunResult> {
+    configs
+        .par_iter()
+        .map(|cfg| Network::build(cfg).run())
+        .collect()
+}
+
+/// Mean of an optional per-run metric, ignoring runs where it is absent.
+/// Returns `(mean, samples)`.
+pub fn mean_of<F>(results: &[RunResult], f: F) -> (Option<f64>, usize)
+where
+    F: Fn(&RunResult) -> Option<f64>,
+{
+    let vals: Vec<f64> = results.iter().filter_map(f).collect();
+    if vals.is_empty() {
+        (None, 0)
+    } else {
+        (
+            Some(vals.iter().sum::<f64>() / vals.len() as f64),
+            vals.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ProtocolKind;
+
+    #[test]
+    fn seed_sweep_is_deterministic_and_parallel_safe() {
+        let base = ScenarioConfig::new(ProtocolKind::Sstsp, 5, 8.0, 0);
+        let a = run_seeds(&base, &[1, 2, 3]);
+        let b = run_seeds(&base, &[1, 2, 3]);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.spread.values(), y.spread.values());
+            assert_eq!(x.seed, y.seed);
+        }
+    }
+
+    #[test]
+    fn mean_of_handles_missing() {
+        let base = ScenarioConfig::new(ProtocolKind::Sstsp, 5, 8.0, 0);
+        let rs = run_seeds(&base, &[5, 6]);
+        let (mean, n) = mean_of(&rs, |r| r.sync_latency_s);
+        assert!(n <= 2);
+        if n > 0 {
+            assert!(mean.unwrap() >= 0.0);
+        }
+        let (none, zero) = mean_of(&rs, |_| None);
+        assert_eq!(none, None);
+        assert_eq!(zero, 0);
+    }
+}

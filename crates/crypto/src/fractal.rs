@@ -1,0 +1,279 @@
+//! Storage-efficient backward hash-chain traversal.
+//!
+//! The paper (Sec. 3.4) cites Jakobsson's fractal scheme \[6\]: a chain of
+//! `n` elements can be traversed — disclosing `h^{n-1}, h^{n-2}, …, seed` in
+//! order — with only `O(log₂ n)` stored pebbles and `O(log₂ n)` amortized
+//! hash evaluations per element, instead of either storing all `n` elements
+//! or recomputing `O(n)` hashes per disclosure.
+//!
+//! [`FractalTraverser`] implements the recursive-halving variant of that
+//! idea: pebbles sit at binary midpoints of the not-yet-consumed prefix, and
+//! whenever a gap is walked the walk drops fresh pebbles halving the gap.
+//! This achieves the same asymptotic bounds (measured, not just asserted —
+//! see the `traversal_cost_is_logarithmic` test) with considerably simpler
+//! state than the original paper's scheduling.
+
+use crate::chain::{chain_step, ChainElement};
+
+/// A pebble: a cached chain value at a known position.
+#[derive(Debug, Clone, Copy)]
+struct Pebble {
+    /// Number of one-way applications from the seed.
+    pos: usize,
+    value: ChainElement,
+}
+
+/// Backward traverser over a hash chain of length `n`.
+///
+/// Yields `h^{n-1}(seed)`, `h^{n-2}(seed)`, …, `h^0(seed) = seed`, which is
+/// exactly the order µTESLA keys are consumed (interval `j` uses
+/// `h^{n-j}`).
+pub struct FractalTraverser {
+    seed: ChainElement,
+    /// Pebbles sorted by ascending position; all positions are strictly
+    /// below `next_pos` (consumed positions need no pebbles).
+    pebbles: Vec<Pebble>,
+    /// Position of the next element `next()` will return, or `None` when
+    /// exhausted.
+    next_pos: Option<usize>,
+    /// Total one-way-function invocations since construction (for
+    /// cost accounting and the complexity tests).
+    hash_count: u64,
+}
+
+impl FractalTraverser {
+    /// Prepare traversal of the chain `seed, h(seed), …, h^n(seed)`.
+    ///
+    /// Construction walks the chain once (`n` hashes — the same work needed
+    /// to compute the anchor for publication) and drops the initial pebble
+    /// set.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(seed: ChainElement, n: usize) -> Self {
+        assert!(n > 0, "chain length must be positive");
+        let mut t = FractalTraverser {
+            seed,
+            pebbles: Vec::new(),
+            next_pos: Some(n - 1),
+            hash_count: 0,
+        };
+        // Initial pebble layout: walk 0..n-1 dropping pebbles at binary
+        // midpoints of [0, n-1]: positions (n-1)/2, 3(n-1)/4, ... This is
+        // the same subdivision `walk_to` maintains later.
+        t.seed_pebbles(n - 1);
+        t
+    }
+
+    /// The anchor `h^n(seed)`; computing it is one extra step past the first
+    /// disclosed element.
+    pub fn anchor_of(seed: &ChainElement, n: usize) -> ChainElement {
+        crate::chain::chain_step_n(seed, n)
+    }
+
+    /// Number of one-way-function invocations so far (excluding
+    /// `anchor_of`).
+    pub fn hash_count(&self) -> u64 {
+        self.hash_count
+    }
+
+    /// Current number of stored pebbles.
+    pub fn pebble_count(&self) -> usize {
+        self.pebbles.len()
+    }
+
+    /// Elements still to be disclosed.
+    pub fn remaining(&self) -> usize {
+        self.next_pos.map_or(0, |p| p + 1)
+    }
+
+    /// Disclose the next element (positions `n-1` down to `0`).
+    pub fn next_element(&mut self) -> Option<ChainElement> {
+        let pos = self.next_pos?;
+        let value = self.value_at(pos);
+        // Drop pebbles at or beyond the consumed position.
+        self.pebbles.retain(|p| p.pos < pos);
+        self.next_pos = pos.checked_sub(1);
+        Some(value)
+    }
+
+    /// Initial subdivision: drop pebbles at binary midpoints of `[0, top]`.
+    fn seed_pebbles(&mut self, top: usize) {
+        let mut lo = 0usize;
+        let mut value = self.seed;
+        let mut pos = 0usize;
+        // Walk to each midpoint in turn, dropping a pebble, until the gap
+        // closes. Gap sequence: mid of [0,top], mid of [mid,top], ...
+        loop {
+            let gap = top - lo;
+            if gap <= 1 {
+                break;
+            }
+            let mid = lo + gap / 2;
+            while pos < mid {
+                value = chain_step(&value);
+                self.hash_count += 1;
+                pos += 1;
+            }
+            self.pebbles.push(Pebble { pos, value });
+            lo = mid;
+        }
+    }
+
+    /// Compute the chain value at `pos`, using the nearest pebble at or
+    /// below it and re-subdividing the walked gap with fresh pebbles.
+    fn value_at(&mut self, pos: usize) -> ChainElement {
+        // Nearest pebble at or below pos (pebbles are sorted ascending).
+        let (mut cur_pos, mut value) = match self.pebbles.iter().rev().find(|p| p.pos <= pos) {
+            Some(p) => (p.pos, p.value),
+            None => (0, self.seed),
+        };
+        if cur_pos == pos {
+            return value;
+        }
+        // Walk forward, dropping pebbles at binary midpoints of the gap
+        // [cur_pos, pos] so future backward steps stay cheap.
+        let mut drop_at: Vec<usize> = Vec::new();
+        let mut lo = cur_pos;
+        loop {
+            let gap = pos - lo;
+            if gap <= 1 {
+                break;
+            }
+            let mid = lo + gap / 2;
+            drop_at.push(mid);
+            lo = mid;
+        }
+        let mut drop_iter = drop_at.into_iter().peekable();
+        while cur_pos < pos {
+            value = chain_step(&value);
+            self.hash_count += 1;
+            cur_pos += 1;
+            if drop_iter.peek() == Some(&cur_pos) {
+                drop_iter.next();
+                self.insert_pebble(Pebble {
+                    pos: cur_pos,
+                    value,
+                });
+            }
+        }
+        value
+    }
+
+    fn insert_pebble(&mut self, p: Pebble) {
+        match self.pebbles.binary_search_by_key(&p.pos, |q| q.pos) {
+            Ok(i) => self.pebbles[i] = p,
+            Err(i) => self.pebbles.insert(i, p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{chain_step_n, HashChain};
+
+    fn seed(b: u8) -> ChainElement {
+        [b; 16]
+    }
+
+    #[test]
+    fn yields_chain_backwards() {
+        let n = 37;
+        let chain = HashChain::generate(seed(4), n);
+        let mut t = FractalTraverser::new(seed(4), n);
+        for pos in (0..n).rev() {
+            assert_eq!(t.next_element().unwrap(), chain.element(pos), "pos {pos}");
+        }
+        assert!(t.next_element().is_none());
+        assert_eq!(t.remaining(), 0);
+    }
+
+    #[test]
+    fn works_for_tiny_chains() {
+        for n in 1..=8 {
+            let chain = HashChain::generate(seed(1), n);
+            let mut t = FractalTraverser::new(seed(1), n);
+            for pos in (0..n).rev() {
+                assert_eq!(t.next_element().unwrap(), chain.element(pos), "n={n} pos={pos}");
+            }
+            assert!(t.next_element().is_none());
+        }
+    }
+
+    #[test]
+    fn anchor_matches_store_all() {
+        let n = 100;
+        let chain = HashChain::generate(seed(2), n);
+        assert_eq!(FractalTraverser::anchor_of(&seed(2), n), chain.anchor());
+    }
+
+    #[test]
+    fn pebble_count_stays_logarithmic() {
+        let n = 4096;
+        let mut t = FractalTraverser::new(seed(3), n);
+        let budget = (n as f64).log2() as usize + 2;
+        let mut max_pebbles = t.pebble_count();
+        while t.next_element().is_some() {
+            max_pebbles = max_pebbles.max(t.pebble_count());
+        }
+        assert!(
+            max_pebbles <= budget,
+            "pebbles {max_pebbles} exceeded log budget {budget}"
+        );
+    }
+
+    #[test]
+    fn traversal_cost_is_logarithmic() {
+        // Amortized hash cost per disclosed element must be O(log n).
+        let n = 4096;
+        let mut t = FractalTraverser::new(seed(6), n);
+        let setup = t.hash_count();
+        assert!(setup <= n as u64, "setup walk is at most one chain pass");
+        while t.next_element().is_some() {}
+        let traversal = t.hash_count() - setup;
+        let per_element = traversal as f64 / n as f64;
+        let bound = (n as f64).log2() + 1.0;
+        assert!(
+            per_element <= bound,
+            "amortized {per_element:.2} hashes/element exceeds log bound {bound:.2}"
+        );
+    }
+
+    #[test]
+    fn store_all_vs_fractal_equivalence_long() {
+        let n = 1000;
+        let mut t = FractalTraverser::new(seed(8), n);
+        for pos in (0..n).rev() {
+            assert_eq!(t.next_element().unwrap(), chain_step_n(&seed(8), pos));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_rejected() {
+        let _ = FractalTraverser::new(seed(0), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::chain::HashChain;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn matches_store_all_for_any_seed_and_length(
+            seed_bytes in proptest::array::uniform16(any::<u8>()),
+            n in 1usize..200) {
+            let chain = HashChain::generate(seed_bytes, n);
+            let mut t = FractalTraverser::new(seed_bytes, n);
+            for pos in (0..n).rev() {
+                prop_assert_eq!(t.next_element().unwrap(), chain.element(pos));
+            }
+            prop_assert!(t.next_element().is_none());
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! HMAC-SHA-256 (RFC 2104) with the 128-bit truncation used by SSTSP
+//! beacons.
+//!
+//! The paper budgets "128-bit hash values" in its beacon-size accounting
+//! (92-byte secured beacon = 56-byte TSF beacon + 16-byte MAC + 16-byte
+//! disclosed key + 4-byte interval index), so [`Mac128`] is the type beacons
+//! actually carry.
+
+use crate::sha256::{Sha256, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+
+/// A 128-bit truncated MAC as carried in SSTSP beacons.
+pub type Mac128 = [u8; 16];
+
+/// Full-width HMAC-SHA-256.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let digest = crate::sha256::sha256(key);
+        key_block[..DIGEST_LEN].copy_from_slice(&digest);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// HMAC-SHA-256 truncated to 128 bits, per the beacon format.
+pub fn hmac_sha256_128(key: &[u8], message: &[u8]) -> Mac128 {
+    let full = hmac_sha256(key, message);
+    let mut out = [0u8; 16];
+    out.copy_from_slice(&full[..16]);
+    out
+}
+
+/// Constant-time equality for 128-bit MACs.
+///
+/// In a simulation timing attacks are moot, but the comparison is the kind
+/// of code people copy out of reproductions, so do it right.
+pub fn mac_eq(a: &Mac128, b: &Mac128) -> bool {
+    a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let mac = hmac_sha256(&key, &msg);
+        assert_eq!(
+            hex(&mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case4() {
+        let key: Vec<u8> = (1..=25).collect();
+        let msg = [0xcdu8; 50];
+        let mac = hmac_sha256(&key, &msg);
+        assert_eq!(
+            hex(&mac),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case7_long_key_long_msg() {
+        let key = [0xaau8; 131];
+        let msg: &[u8] = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        let mac = hmac_sha256(&key, msg);
+        assert_eq!(
+            hex(&mac),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn truncation_is_prefix() {
+        let key = b"key";
+        let msg = b"message";
+        let full = hmac_sha256(key, msg);
+        let trunc = hmac_sha256_128(key, msg);
+        assert_eq!(&full[..16], &trunc[..]);
+    }
+
+    #[test]
+    fn mac_eq_behaviour() {
+        let a = [1u8; 16];
+        let mut b = a;
+        assert!(mac_eq(&a, &b));
+        b[15] ^= 1;
+        assert!(!mac_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_keys_different_macs() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn deterministic(key in proptest::collection::vec(any::<u8>(), 0..128),
+                         msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+            prop_assert_eq!(hmac_sha256(&key, &msg), hmac_sha256(&key, &msg));
+        }
+
+        #[test]
+        fn message_sensitivity(key in proptest::collection::vec(any::<u8>(), 1..64),
+                               msg in proptest::collection::vec(any::<u8>(), 1..128),
+                               flip_byte in 0usize..128, flip_bit in 0u8..8) {
+            let mut tampered = msg.clone();
+            let i = flip_byte % tampered.len();
+            tampered[i] ^= 1 << flip_bit;
+            prop_assert_ne!(hmac_sha256(&key, &msg), hmac_sha256(&key, &tampered));
+        }
+    }
+}

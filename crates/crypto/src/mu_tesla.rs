@@ -1,0 +1,520 @@
+//! µTESLA broadcast authentication (Perrig et al., SPINS 2001) as used by
+//! SSTSP.
+//!
+//! The scheme, instantiated for SSTSP's beacon schedule:
+//!
+//! * time is divided into beacon intervals; interval `j` covers
+//!   `[T₀ + j·BP − BP/2, T₀ + j·BP + BP/2)`;
+//! * the beacon sent in interval `j` is
+//!   `<B, j, HMAC_{h^{n-j}(s)}(B, j), h^{n-j+1}(s)>` — MACed with the
+//!   *undisclosed* key of interval `j` and carrying the *disclosed* key of
+//!   interval `j − 1`;
+//! * a receiver holding the published anchor `hⁿ(s)` (or any previously
+//!   authenticated chain element) verifies the disclosed key with hash
+//!   applications only, then authenticates the beacon it buffered during
+//!   interval `j − 1`.
+//!
+//! The requirement µTESLA places on the system — *loose* time
+//! synchronization so a receiver can tell which interval it is in — is what
+//! SSTSP's coarse synchronization phase provides.
+
+use crate::chain::{chain_step_n, ChainElement, HashChain};
+use crate::hmac::{hmac_sha256_128, mac_eq, Mac128};
+use serde::{Deserialize, Serialize};
+
+/// Maps (loosely synchronized) local time to beacon-interval indices.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IntervalSchedule {
+    /// Chain start time T₀ in microseconds of synchronized time.
+    pub t0_us: f64,
+    /// Beacon period in microseconds (typical value 100 000 = 0.1 s).
+    pub bp_us: f64,
+    /// Chain length: number of usable intervals.
+    pub n: usize,
+}
+
+impl IntervalSchedule {
+    /// Create a schedule.
+    ///
+    /// # Panics
+    /// Panics if `bp_us` is non-positive or `n == 0`.
+    pub fn new(t0_us: f64, bp_us: f64, n: usize) -> Self {
+        assert!(bp_us > 0.0, "beacon period must be positive");
+        assert!(n > 0, "schedule needs at least one interval");
+        IntervalSchedule { t0_us, bp_us, n }
+    }
+
+    /// The interval index whose window contains `time_us`, if any.
+    ///
+    /// Interval `j` is centred on its expected emission time `T₀ + j·BP`,
+    /// extending BP/2 on either side.
+    pub fn interval_at(&self, time_us: f64) -> Option<usize> {
+        let j = ((time_us - self.t0_us) / self.bp_us).round();
+        if j >= 1.0 && j <= self.n as f64 {
+            Some(j as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Expected emission time of the interval-`j` beacon: `T₀ + j·BP`.
+    pub fn expected_emission_us(&self, j: usize) -> f64 {
+        self.t0_us + j as f64 * self.bp_us
+    }
+}
+
+/// The authentication fields appended to a secured beacon: interval index,
+/// 128-bit MAC, 128-bit disclosed key. 4 + 16 + 16 = 36 bytes — exactly the
+/// growth from the 56-byte TSF beacon to the paper's 92-byte SSTSP beacon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BeaconAuth {
+    /// Beacon interval index `j` (1-based).
+    pub interval: u32,
+    /// `HMAC_{h^{n-j}(s)}(B, j)` truncated to 128 bits.
+    pub mac: Mac128,
+    /// The disclosed key `h^{n-j+1}(s)` authenticating interval `j − 1`.
+    pub disclosed: ChainElement,
+}
+
+/// MAC input: payload followed by the little-endian interval index, per the
+/// paper's `(B, j)`.
+fn mac_message(payload: &[u8], interval: u32) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(payload.len() + 4);
+    msg.extend_from_slice(payload);
+    msg.extend_from_slice(&interval.to_le_bytes());
+    msg
+}
+
+/// Compute the µTESLA fields for `payload` in interval `j` using an
+/// externally managed chain (the SSTSP reference node owns its chain as
+/// part of larger protocol state).
+///
+/// # Panics
+/// Panics if `j` is outside `1..=chain.len()`.
+pub fn sign_with_chain(chain: &HashChain, payload: &[u8], j: usize) -> BeaconAuth {
+    let key = chain.interval_key(j);
+    let mac = hmac_sha256_128(&key, &mac_message(payload, j as u32));
+    BeaconAuth {
+        interval: j as u32,
+        mac,
+        disclosed: chain.disclosed_key(j),
+    }
+}
+
+/// Sender side: owns the hash chain and produces [`BeaconAuth`] fields.
+pub struct MuTeslaSigner {
+    chain: HashChain,
+    schedule: IntervalSchedule,
+}
+
+impl MuTeslaSigner {
+    /// Build a signer from a seed; the chain length comes from the schedule.
+    pub fn new(seed: ChainElement, schedule: IntervalSchedule) -> Self {
+        MuTeslaSigner {
+            chain: HashChain::generate(seed, schedule.n),
+            schedule,
+        }
+    }
+
+    /// The anchor to publish (`hⁿ(s)`).
+    pub fn anchor(&self) -> ChainElement {
+        self.chain.anchor()
+    }
+
+    /// The schedule in force.
+    pub fn schedule(&self) -> &IntervalSchedule {
+        &self.schedule
+    }
+
+    /// Sign `payload` for interval `j`.
+    ///
+    /// # Panics
+    /// Panics if `j` is outside `1..=n`.
+    pub fn sign(&self, payload: &[u8], j: usize) -> BeaconAuth {
+        sign_with_chain(&self.chain, payload, j)
+    }
+}
+
+/// Why a received beacon was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The carried interval index does not match the receiver's current
+    /// interval — stale, replayed, or sent by a desynchronized node.
+    WrongInterval {
+        /// Interval index claimed by the beacon.
+        claimed: u32,
+        /// Interval the receiver believes it is in (`None` = outside the
+        /// schedule entirely).
+        current: Option<u32>,
+    },
+    /// The disclosed key does not hash to the anchor / cached element.
+    BadDisclosedKey,
+    /// The buffered previous beacon failed MAC verification with the
+    /// (valid) disclosed key.
+    PreviousBeaconForged,
+}
+
+/// A beacon whose authenticity has been established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthenticatedBeacon {
+    /// The interval the beacon was sent in.
+    pub interval: u32,
+    /// The beacon payload.
+    pub payload: Vec<u8>,
+}
+
+/// Receiver side: verifies disclosed keys against the anchor and
+/// authenticates buffered beacons one interval late.
+pub struct MuTeslaVerifier {
+    anchor: ChainElement,
+    schedule: IntervalSchedule,
+    /// Most recent authenticated chain element, as (interval-of-key, key):
+    /// the key of interval `j` is `h^{n-j}`. Caching it reduces disclosed-key
+    /// verification to a handful of hash applications.
+    cached_key: Option<(u32, ChainElement)>,
+    /// Beacon received in the previous interval, awaiting its key.
+    pending: Option<(u32, Vec<u8>, Mac128)>,
+}
+
+impl MuTeslaVerifier {
+    /// Build a verifier from the published anchor.
+    pub fn new(anchor: ChainElement, schedule: IntervalSchedule) -> Self {
+        MuTeslaVerifier {
+            anchor,
+            schedule,
+            cached_key: None,
+            pending: None,
+        }
+    }
+
+    /// Process a received beacon at (loosely synchronized) local time
+    /// `now_us`.
+    ///
+    /// On success, returns the beacon from interval `j − 1` if one was
+    /// buffered and is now authenticated. The *current* beacon is buffered
+    /// and will be released by the next call.
+    ///
+    /// On failure the verifier state is unchanged (the offending beacon is
+    /// simply discarded, per the paper).
+    pub fn observe(
+        &mut self,
+        payload: &[u8],
+        auth: &BeaconAuth,
+        now_us: f64,
+    ) -> Result<Option<AuthenticatedBeacon>, VerifyError> {
+        // Check 1: the interval index must correspond to the current time
+        // interval (counters replay of old beacons).
+        let current = self.schedule.interval_at(now_us);
+        if current != Some(auth.interval as usize) {
+            return Err(VerifyError::WrongInterval {
+                claimed: auth.interval,
+                current: current.map(|c| c as u32),
+            });
+        }
+
+        // Check 2: validate the disclosed key h^{n-j+1} — the key of
+        // interval j-1. Against the cached element when possible (O(Δj)
+        // hashes), else against the anchor (O(j) hashes).
+        let key_interval = auth.interval - 1; // disclosed key belongs to interval j-1
+        let valid = match self.cached_key {
+            Some((cached_interval, cached)) if key_interval >= cached_interval => {
+                let distance = (key_interval - cached_interval) as usize;
+                if distance == 0 {
+                    auth.disclosed == cached
+                } else {
+                    chain_step_n(&auth.disclosed, distance) == cached
+                }
+            }
+            _ => {
+                // key of interval (j-1) is h^{n-(j-1)} = h^{n-j+1};
+                // hashing it (j-1) times yields h^n = anchor.
+                chain_step_n(&auth.disclosed, key_interval as usize) == self.anchor
+            }
+        };
+        if !valid {
+            return Err(VerifyError::BadDisclosedKey);
+        }
+        if key_interval >= 1 {
+            self.cached_key = Some((key_interval, auth.disclosed));
+        }
+
+        // Check 3: authenticate the buffered beacon from interval j-1 with
+        // the now-validated key.
+        let released = match self.pending.take() {
+            Some((pj, ppayload, pmac)) if pj == key_interval => {
+                let expect = hmac_sha256_128(&auth.disclosed, &mac_message(&ppayload, pj));
+                if mac_eq(&expect, &pmac) {
+                    Some(AuthenticatedBeacon {
+                        interval: pj,
+                        payload: ppayload,
+                    })
+                } else {
+                    // Buffer the fresh beacon before reporting: the forged
+                    // previous beacon must not block future progress.
+                    self.pending = Some((auth.interval, payload.to_vec(), auth.mac));
+                    return Err(VerifyError::PreviousBeaconForged);
+                }
+            }
+            // Missed or absent previous beacon: nothing to release.
+            _ => None,
+        };
+
+        self.pending = Some((auth.interval, payload.to_vec(), auth.mac));
+        Ok(released)
+    }
+
+    /// The receiver's current cached authenticated chain element, if any.
+    pub fn cached_key(&self) -> Option<(u32, ChainElement)> {
+        self.cached_key
+    }
+
+    /// Whether a beacon is buffered awaiting authentication.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BP: f64 = 100_000.0; // 0.1 s in µs
+
+    fn schedule(n: usize) -> IntervalSchedule {
+        IntervalSchedule::new(0.0, BP, n)
+    }
+
+    fn seed(b: u8) -> ChainElement {
+        [b; 16]
+    }
+
+    #[test]
+    fn interval_windows() {
+        let s = schedule(100);
+        // Interval j is centred on j*BP.
+        assert_eq!(s.interval_at(100_000.0), Some(1));
+        assert_eq!(s.interval_at(100_000.0 - BP / 2.0 + 1.0), Some(1));
+        assert_eq!(s.interval_at(100_000.0 + BP / 2.0 - 1.0), Some(1));
+        assert_eq!(s.interval_at(150_001.0), Some(2));
+        assert_eq!(s.interval_at(0.0), None); // before interval 1's window
+        assert_eq!(s.interval_at(100.0 * BP), Some(100));
+        assert_eq!(s.interval_at(101.0 * BP), None); // past the chain
+    }
+
+    #[test]
+    fn expected_emission_times() {
+        let s = IntervalSchedule::new(500.0, BP, 10);
+        assert_eq!(s.expected_emission_us(3), 500.0 + 3.0 * BP);
+    }
+
+    #[test]
+    fn sign_then_verify_chain_of_beacons() {
+        let sched = schedule(50);
+        let signer = MuTeslaSigner::new(seed(1), sched);
+        let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
+
+        let mut released = Vec::new();
+        for j in 1..=10usize {
+            let payload = format!("beacon-{j}").into_bytes();
+            let auth = signer.sign(&payload, j);
+            let now = sched.expected_emission_us(j) + 7.0;
+            let out = verifier.observe(&payload, &auth, now).expect("valid beacon");
+            if let Some(b) = out {
+                released.push(b);
+            }
+        }
+        // Beacons 1..=9 are authenticated (each released by its successor).
+        assert_eq!(released.len(), 9);
+        for (i, b) in released.iter().enumerate() {
+            assert_eq!(b.interval as usize, i + 1);
+            assert_eq!(b.payload, format!("beacon-{}", i + 1).into_bytes());
+        }
+        assert!(verifier.has_pending());
+    }
+
+    #[test]
+    fn replayed_beacon_rejected_by_interval_check() {
+        let sched = schedule(50);
+        let signer = MuTeslaSigner::new(seed(2), sched);
+        let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
+
+        let auth = signer.sign(b"old", 3);
+        // Replay interval-3 beacon during interval 7.
+        let err = verifier
+            .observe(b"old", &auth, sched.expected_emission_us(7))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::WrongInterval {
+                claimed: 3,
+                current: Some(7)
+            }
+        );
+    }
+
+    #[test]
+    fn forged_disclosed_key_rejected() {
+        let sched = schedule(50);
+        let signer = MuTeslaSigner::new(seed(3), sched);
+        let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
+
+        let mut auth = signer.sign(b"x", 4);
+        auth.disclosed[0] ^= 0x01;
+        let err = verifier
+            .observe(b"x", &auth, sched.expected_emission_us(4))
+            .unwrap_err();
+        assert_eq!(err, VerifyError::BadDisclosedKey);
+    }
+
+    #[test]
+    fn external_forger_cannot_authenticate_payload() {
+        // Attacker without the chain fabricates a beacon for the current
+        // interval reusing a previously disclosed key (too late: that key's
+        // interval has passed) — it has no valid key for the current one.
+        let sched = schedule(50);
+        let signer = MuTeslaSigner::new(seed(4), sched);
+        let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
+
+        // Legitimate beacons for intervals 1 and 2 observed.
+        for j in 1..=2 {
+            let p = vec![j as u8];
+            let auth = signer.sign(&p, j);
+            verifier
+                .observe(&p, &auth, sched.expected_emission_us(j))
+                .unwrap();
+        }
+        // Attacker saw the key of interval 1 (disclosed in beacon 2) and
+        // forges an interval-3 beacon MACed with it; it must supply a
+        // disclosed key for interval 2 — it has none, so it re-discloses
+        // interval 1's key. Receiver sees a key that doesn't verify as
+        // interval 2's key.
+        let key1 = signer.sign(&[0], 2).disclosed; // h^{n-1}: interval-1 key
+        let forged_payload = b"evil".to_vec();
+        let mut msg = forged_payload.clone();
+        msg.extend_from_slice(&3u32.to_le_bytes());
+        let forged = BeaconAuth {
+            interval: 3,
+            mac: hmac_sha256_128(&key1, &msg),
+            disclosed: key1,
+        };
+        let err = verifier
+            .observe(&forged_payload, &forged, sched.expected_emission_us(3))
+            .unwrap_err();
+        assert_eq!(err, VerifyError::BadDisclosedKey);
+    }
+
+    #[test]
+    fn tampered_previous_beacon_detected() {
+        let sched = schedule(50);
+        let signer = MuTeslaSigner::new(seed(5), sched);
+        let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
+
+        // Interval 1: attacker tampers the payload in flight (MAC no longer
+        // matches).
+        let auth1 = signer.sign(b"genuine", 1);
+        verifier
+            .observe(b"tampered", &auth1, sched.expected_emission_us(1))
+            .unwrap();
+        // Interval 2 discloses interval 1's key; verification must flag the
+        // buffered beacon as forged.
+        let auth2 = signer.sign(b"second", 2);
+        let err = verifier
+            .observe(b"second", &auth2, sched.expected_emission_us(2))
+            .unwrap_err();
+        assert_eq!(err, VerifyError::PreviousBeaconForged);
+        // Progress continues: interval 3 releases beacon 2.
+        let auth3 = signer.sign(b"third", 3);
+        let out = verifier
+            .observe(b"third", &auth3, sched.expected_emission_us(3))
+            .unwrap();
+        assert_eq!(
+            out,
+            Some(AuthenticatedBeacon {
+                interval: 2,
+                payload: b"second".to_vec()
+            })
+        );
+    }
+
+    #[test]
+    fn missed_beacons_do_not_break_verification() {
+        let sched = schedule(50);
+        let signer = MuTeslaSigner::new(seed(6), sched);
+        let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
+
+        // Receive beacon 1, miss 2-4, receive 5: key check must still pass
+        // (distance > 1 from cached element) and beacon 1 cannot be
+        // released (its key came in beacon 2, which was lost) — but beacon 5
+        // buffers fine and beacon 6 releases it.
+        let p1 = b"one".to_vec();
+        let a1 = signer.sign(&p1, 1);
+        verifier
+            .observe(&p1, &a1, sched.expected_emission_us(1))
+            .unwrap();
+
+        let p5 = b"five".to_vec();
+        let a5 = signer.sign(&p5, 5);
+        let out = verifier
+            .observe(&p5, &a5, sched.expected_emission_us(5))
+            .unwrap();
+        assert_eq!(out, None, "beacon 1's window passed unauthenticated");
+
+        let p6 = b"six".to_vec();
+        let a6 = signer.sign(&p6, 6);
+        let out = verifier
+            .observe(&p6, &a6, sched.expected_emission_us(6))
+            .unwrap();
+        assert_eq!(
+            out,
+            Some(AuthenticatedBeacon {
+                interval: 5,
+                payload: p5
+            })
+        );
+    }
+
+    #[test]
+    fn cached_key_reduces_to_single_step() {
+        let sched = schedule(50);
+        let signer = MuTeslaSigner::new(seed(7), sched);
+        let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
+        for j in 1..=3usize {
+            let p = vec![j as u8];
+            let auth = signer.sign(&p, j);
+            verifier
+                .observe(&p, &auth, sched.expected_emission_us(j))
+                .unwrap();
+        }
+        let (ki, _) = verifier.cached_key().unwrap();
+        assert_eq!(ki, 2, "cache holds the key of interval j-1 = 2");
+    }
+
+    #[test]
+    fn verifier_state_unchanged_on_rejection() {
+        let sched = schedule(50);
+        let signer = MuTeslaSigner::new(seed(8), sched);
+        let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
+
+        let p1 = b"one".to_vec();
+        let a1 = signer.sign(&p1, 1);
+        verifier
+            .observe(&p1, &a1, sched.expected_emission_us(1))
+            .unwrap();
+
+        // Forged key at interval 2: rejection must not clobber pending.
+        let mut bad = signer.sign(b"evil", 2);
+        bad.disclosed = [0xde; 16];
+        let _ = verifier
+            .observe(b"evil", &bad, sched.expected_emission_us(2))
+            .unwrap_err();
+        assert!(verifier.has_pending());
+
+        // Genuine interval-2 beacon still releases beacon 1.
+        let p2 = b"two".to_vec();
+        let a2 = signer.sign(&p2, 2);
+        let out = verifier
+            .observe(&p2, &a2, sched.expected_emission_us(2))
+            .unwrap();
+        assert_eq!(out.unwrap().payload, p1);
+    }
+}

@@ -1,0 +1,26 @@
+//! # mac80211 — IEEE 802.11 IBSS beacon machinery
+//!
+//! Two pieces of the 802.11 ad-hoc mode that time synchronization rides on:
+//!
+//! * [`frame`] — beacon frame wire formats. The plain TSF beacon serializes
+//!   to the paper's 56 bytes (24-byte PLCP preamble + 32-byte MAC frame
+//!   carrying the 8-byte TSF timestamp); the SSTSP-secured beacon appends
+//!   the 4-byte interval index, 128-bit HMAC and 128-bit disclosed key for
+//!   a total of 92 bytes — the exact overhead the paper budgets in
+//!   Sec. 3.4.
+//! * [`contention`] — the beacon generation window: `w + 1` slots of
+//!   `aSlotTime`; each contender draws a uniform slot and transmits when
+//!   its delay timer expires unless it hears an earlier beacon first.
+//!
+//! Which stations contend in which BP is protocol policy and lives in the
+//! `protocols` crate; the channel-level resolution of simultaneous slots
+//! lives in `wireless`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod contention;
+pub mod frame;
+
+pub use contention::ContentionWindow;
+pub use frame::{BeaconBody, SecuredBeacon, WIRE_LEN_PLAIN, WIRE_LEN_SECURED};

@@ -1,0 +1,52 @@
+//! # protocols — time-synchronization protocols for 802.11 IBSS
+//!
+//! Every protocol is a per-node state machine implementing [`SyncProtocol`];
+//! the network engine (crate `sstsp`) drives all nodes through beacon
+//! periods, resolves the contention window on the shared channel, and
+//! delivers beacons. Protocols see only what a real station would see:
+//! their own local clock, received beacons, and transmit feedback.
+//!
+//! Implemented protocols:
+//!
+//! * [`tsf`] — the IEEE 802.11-1999 Timing Synchronization Function
+//!   (the paper's baseline);
+//! * [`atsp`] — adaptive TSF (Lai & Zhou 2003): the self-believed fastest
+//!   station competes every BP, others every `I_max` BPs;
+//! * [`tatsp`] — tiered ATSP: stations sort themselves into three
+//!   competition-frequency tiers;
+//! * [`satsf`] — self-adjusting TSF (Zhou & Lai, ICPP 2005): per-station
+//!   competition frequency adapts gradually;
+//! * [`asp`] — single-hop ASP (Sheu, Chao & Sun, ICDCS 2004): faster
+//!   stations get priority slots and slower stations self-correct their
+//!   rate;
+//! * [`rk`] — the Rentel & Kunz controlled-clock mechanism: equal
+//!   participation with rate-corrected clocks;
+//! * [`sstsp`] — the paper's contribution: reference-node election, µTESLA
+//!   beacon authentication, guard-time check, and the continuous
+//!   adjusted-clock discipline.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod api;
+pub mod asp;
+pub mod atsp;
+pub mod rk;
+#[cfg(test)]
+pub(crate) mod testutil;
+pub mod satsf;
+pub mod sstsp;
+pub mod tatsp;
+pub mod tsf;
+
+pub use api::{
+    AnchorRegistry, BeaconIntent, BeaconPayload, NodeCtx, NodeId, ProtocolConfig, ReceivedBeacon,
+    SyncProtocol,
+};
+pub use asp::AspNode;
+pub use atsp::AtspNode;
+pub use rk::RkNode;
+pub use satsf::SatsfNode;
+pub use sstsp::SstspNode;
+pub use tatsp::TatspNode;
+pub use tsf::TsfNode;

@@ -1,0 +1,247 @@
+//! Stable event queue.
+//!
+//! A binary heap keyed on `(SimTime, sequence)` where `sequence` is a
+//! monotonically increasing insertion counter. Events scheduled for the same
+//! instant are therefore delivered in FIFO order — a prerequisite for
+//! deterministic simulation (see the crate docs).
+//!
+//! Cancellation is supported through [`EventKey`] tombstones: cancelling is
+//! O(1) and the queue lazily discards tombstoned entries on pop. This is the
+//! classic approach for simulators with frequent timer cancellation (the
+//! 802.11 beacon contention window cancels pending beacons whenever an
+//! earlier beacon is heard).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Opaque handle identifying a scheduled event, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey(u64);
+
+/// An event popped from the queue: its due time, its key and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// Simulated instant the event fires at.
+    pub time: SimTime,
+    /// The handle it was scheduled under.
+    pub key: EventKey,
+    /// The caller-defined payload.
+    pub payload: E,
+}
+
+struct HeapEntry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first, and for
+        // equal times the smallest sequence number (FIFO).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Priority queue of timestamped events with stable FIFO tie-breaking and
+/// O(1) cancellation.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    /// Tombstones for cancelled-but-still-heaped entries.
+    cancelled: HashSet<u64>,
+    /// Keys scheduled and neither popped nor cancelled.
+    live_keys: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            live_keys: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Create an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            cancelled: HashSet::new(),
+            live_keys: HashSet::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire at `time`. Returns a key that can be used
+    /// with [`EventQueue::cancel`].
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventKey {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { time, seq, payload });
+        self.live_keys.insert(seq);
+        EventKey(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending — cancelling a popped, already-cancelled, or unknown
+    /// key returns `false` and changes nothing.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if self.live_keys.remove(&key.0) {
+            // Tombstone: pop() lazily discards the heaped entry.
+            self.cancelled.insert(key.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove and return the earliest pending event, skipping cancelled
+    /// entries.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.live_keys.remove(&entry.seq);
+            return Some(ScheduledEvent {
+                time: entry.time,
+                key: EventKey(entry.seq),
+                payload: entry.payload,
+            });
+        }
+        None
+    }
+
+    /// The due time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop tombstoned heads so the peeked time is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.live_keys.len()
+    }
+
+    /// True if no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live_keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(30), "c");
+        q.schedule(SimTime::from_us(10), "a");
+        q.schedule(SimTime::from_us(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_us(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let k1 = q.schedule(SimTime::from_us(1), "x");
+        q.schedule(SimTime::from_us(2), "y");
+        assert!(q.cancel(k1));
+        assert!(!q.cancel(k1), "double-cancel must report false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().payload, "y");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_pop_is_noop_for_len() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(SimTime::from_us(1), ());
+        q.pop().unwrap();
+        assert!(q.is_empty());
+        // Popped events can no longer be cancelled.
+        assert!(!q.cancel(k));
+        q.schedule(SimTime::from_us(2), ());
+        assert_eq!(q.len(), 1);
+        assert!(q.pop().is_some());
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventKey(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(SimTime::from_us(1), "dead");
+        q.schedule(SimTime::from_us(7), "live");
+        q.cancel(k);
+        assert_eq!(q.peek_time(), Some(SimTime::from_us(7)));
+        assert_eq!(q.pop().unwrap().payload, "live");
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(10), 1);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        q.schedule(SimTime::from_us(5), 2);
+        q.schedule(SimTime::from_us(6), 3);
+        assert_eq!(q.pop().unwrap().payload, 2);
+        q.schedule(SimTime::from_us(1), 4);
+        assert_eq!(q.pop().unwrap().payload, 4);
+        assert_eq!(q.pop().unwrap().payload, 3);
+        assert!(q.is_empty());
+    }
+}

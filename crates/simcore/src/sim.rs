@@ -1,0 +1,252 @@
+//! The simulation run loop.
+//!
+//! [`Simulator`] owns an [`EventQueue`] and a notion of "now"; the caller
+//! supplies a handler that reacts to each event and may schedule more. The
+//! loop enforces the fundamental DES invariant — time never goes backwards —
+//! and supports a horizon (stop time) plus an event budget as a runaway
+//! guard.
+
+use crate::event::{EventKey, EventQueue, ScheduledEvent};
+use crate::time::{SimDuration, SimTime};
+
+/// Flow control returned by an event handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimControl {
+    /// Keep processing events.
+    Continue,
+    /// Stop the run loop after this event.
+    Halt,
+}
+
+/// Why a run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained.
+    QueueEmpty,
+    /// The next event lay beyond the configured horizon.
+    HorizonReached,
+    /// A handler requested a halt.
+    Halted,
+    /// The event budget was exhausted (runaway guard).
+    BudgetExhausted,
+}
+
+/// A discrete-event simulator generic over the event payload type.
+pub struct Simulator<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    horizon: SimTime,
+    events_processed: u64,
+    event_budget: u64,
+}
+
+impl<E> Simulator<E> {
+    /// Create a simulator that runs until `horizon` (exclusive: events
+    /// scheduled strictly after the horizon are not delivered).
+    pub fn new(horizon: SimTime) -> Self {
+        Simulator {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            horizon,
+            events_processed: 0,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Cap the total number of events processed; exceeded budgets stop the
+    /// loop with [`StopReason::BudgetExhausted`].
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configured horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Total events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Schedule an event at an absolute time.
+    ///
+    /// # Panics
+    /// Panics if `time` is earlier than the current simulated time — that
+    /// would violate causality and silently corrupt results.
+    pub fn schedule_at(&mut self, time: SimTime, payload: E) -> EventKey {
+        assert!(
+            time >= self.now,
+            "attempted to schedule an event in the past: {time} < now {}",
+            self.now
+        );
+        self.queue.schedule(time, payload)
+    }
+
+    /// Schedule an event `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventKey {
+        self.queue.schedule(self.now + delay, payload)
+    }
+
+    /// Cancel a pending event.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.queue.cancel(key)
+    }
+
+    /// Number of live pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Run the loop, delivering each event to `handler`, until the queue
+    /// drains, the horizon is reached, the handler halts, or the budget is
+    /// exhausted.
+    pub fn run<F>(&mut self, mut handler: F) -> StopReason
+    where
+        F: FnMut(&mut Simulator<E>, ScheduledEvent<E>) -> SimControl,
+    {
+        loop {
+            if self.events_processed >= self.event_budget {
+                return StopReason::BudgetExhausted;
+            }
+            match self.queue.peek_time() {
+                None => return StopReason::QueueEmpty,
+                Some(t) if t > self.horizon => {
+                    self.now = self.horizon;
+                    return StopReason::HorizonReached;
+                }
+                Some(_) => {}
+            }
+            let ev = self.queue.pop().expect("peeked event must pop");
+            debug_assert!(ev.time >= self.now, "event queue returned out-of-order event");
+            self.now = ev.time;
+            self.events_processed += 1;
+            if handler(self, ev) == SimControl::Halt {
+                return StopReason::Halted;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+        Stop,
+    }
+
+    #[test]
+    fn delivers_in_order_and_advances_time() {
+        let mut sim = Simulator::new(SimTime::from_secs(1));
+        sim.schedule_at(SimTime::from_ms(20), Ev::Tick(2));
+        sim.schedule_at(SimTime::from_ms(10), Ev::Tick(1));
+        let mut seen = Vec::new();
+        let reason = sim.run(|sim, ev| {
+            seen.push((ev.time, match ev.payload {
+                Ev::Tick(n) => n,
+                Ev::Stop => 0,
+            }));
+            assert_eq!(sim.now(), ev.time);
+            SimControl::Continue
+        });
+        assert_eq!(reason, StopReason::QueueEmpty);
+        assert_eq!(
+            seen,
+            vec![(SimTime::from_ms(10), 1), (SimTime::from_ms(20), 2)]
+        );
+    }
+
+    #[test]
+    fn horizon_stops_delivery() {
+        let mut sim = Simulator::new(SimTime::from_ms(15));
+        sim.schedule_at(SimTime::from_ms(10), Ev::Tick(1));
+        sim.schedule_at(SimTime::from_ms(20), Ev::Tick(2));
+        let mut count = 0;
+        let reason = sim.run(|_, _| {
+            count += 1;
+            SimControl::Continue
+        });
+        assert_eq!(reason, StopReason::HorizonReached);
+        assert_eq!(count, 1);
+        assert_eq!(sim.now(), SimTime::from_ms(15));
+    }
+
+    #[test]
+    fn handler_can_halt() {
+        let mut sim = Simulator::new(SimTime::from_secs(1));
+        sim.schedule_at(SimTime::from_ms(1), Ev::Stop);
+        sim.schedule_at(SimTime::from_ms(2), Ev::Tick(9));
+        let reason = sim.run(|_, ev| match ev.payload {
+            Ev::Stop => SimControl::Halt,
+            _ => SimControl::Continue,
+        });
+        assert_eq!(reason, StopReason::Halted);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn handler_can_schedule_more() {
+        let mut sim = Simulator::new(SimTime::from_ms(100));
+        sim.schedule_at(SimTime::from_ms(1), Ev::Tick(0));
+        let mut ticks = 0u32;
+        sim.run(|sim, ev| {
+            if let Ev::Tick(n) = ev.payload {
+                ticks = n;
+                if n < 5 {
+                    sim.schedule_after(SimDuration::from_ms(1), Ev::Tick(n + 1));
+                }
+            }
+            SimControl::Continue
+        });
+        assert_eq!(ticks, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulator::new(SimTime::from_secs(1));
+        sim.schedule_at(SimTime::from_ms(10), Ev::Tick(1));
+        sim.run(|sim, _| {
+            sim.schedule_at(SimTime::from_ms(5), Ev::Tick(2));
+            SimControl::Continue
+        });
+    }
+
+    #[test]
+    fn event_budget_guard() {
+        let mut sim = Simulator::new(SimTime::MAX).with_event_budget(10);
+        sim.schedule_at(SimTime::from_ms(1), Ev::Tick(0));
+        let reason = sim.run(|sim, _| {
+            // Pathological self-perpetuating event chain.
+            sim.schedule_after(SimDuration::from_ms(1), Ev::Tick(0));
+            SimControl::Continue
+        });
+        assert_eq!(reason, StopReason::BudgetExhausted);
+        assert_eq!(sim.events_processed(), 10);
+    }
+
+    #[test]
+    fn cancellation_through_simulator() {
+        let mut sim = Simulator::new(SimTime::from_secs(1));
+        let k = sim.schedule_at(SimTime::from_ms(10), Ev::Tick(1));
+        sim.schedule_at(SimTime::from_ms(20), Ev::Tick(2));
+        assert!(sim.cancel(k));
+        let mut seen = Vec::new();
+        sim.run(|_, ev| {
+            if let Ev::Tick(n) = ev.payload {
+                seen.push(n);
+            }
+            SimControl::Continue
+        });
+        assert_eq!(seen, vec![2]);
+    }
+}

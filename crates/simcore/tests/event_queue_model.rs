@@ -1,0 +1,106 @@
+//! Model-based property tests for the event queue: random interleavings of
+//! schedule / cancel / pop are checked against a naive reference model
+//! (a sorted vector with stable FIFO ordering).
+
+use proptest::prelude::*;
+use simcore::{EventQueue, SimTime};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Schedule { time_us: u64, payload: u32 },
+    CancelNth(usize),
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..1_000, any::<u32>())
+            .prop_map(|(time_us, payload)| Op::Schedule { time_us, payload }),
+        (0usize..64).prop_map(Op::CancelNth),
+        Just(Op::Pop),
+    ]
+}
+
+/// Reference model: entries (time, seq, payload, cancelled).
+#[derive(Default)]
+struct Model {
+    entries: Vec<(u64, u64, u32, bool)>,
+    next_seq: u64,
+}
+
+impl Model {
+    fn schedule(&mut self, time_us: u64, payload: u32) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push((time_us, seq, payload, false));
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        for e in &mut self.entries {
+            if e.1 == seq && !e.3 {
+                e.3 = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.3)
+            .min_by_key(|(_, e)| (e.0, e.1))
+            .map(|(i, _)| i)?;
+        let e = self.entries.remove(idx);
+        Some((e.0, e.2))
+    }
+
+    fn live(&self) -> usize {
+        self.entries.iter().filter(|e| !e.3).count()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn queue_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut q = EventQueue::new();
+        let mut model = Model::default();
+        // Parallel bookkeeping: model seq -> queue key.
+        let mut keys = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Schedule { time_us, payload } => {
+                    let key = q.schedule(SimTime::from_us(time_us), payload);
+                    let seq = model.schedule(time_us, payload);
+                    keys.push((seq, key));
+                }
+                Op::CancelNth(n) => {
+                    if !keys.is_empty() {
+                        let (seq, key) = keys[n % keys.len()];
+                        prop_assert_eq!(model.cancel(seq), q.cancel(key));
+                    }
+                }
+                Op::Pop => {
+                    let got = q.pop().map(|e| (e.time.as_us_floor(), e.payload));
+                    prop_assert_eq!(got, model.pop());
+                }
+            }
+            prop_assert_eq!(q.len(), model.live());
+        }
+
+        // Drain both; sequences must match exactly.
+        loop {
+            let got = q.pop().map(|e| (e.time.as_us_floor(), e.payload));
+            let want = model.pop();
+            prop_assert_eq!(got, want);
+            if want.is_none() {
+                break;
+            }
+        }
+    }
+}

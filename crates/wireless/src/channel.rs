@@ -1,0 +1,278 @@
+//! The single-collision-domain channel.
+//!
+//! [`Channel::resolve_window`] implements one beacon generation window:
+//! given every station's chosen transmission slot, it determines the
+//! winning slot (earliest), whether the winners collided, and — for a
+//! successful transmission — which receivers the beacon actually reached
+//! (independent Bernoulli packet errors). Jamming windows destroy all
+//! transmissions.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A station's transmission attempt within a beacon generation window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxAttempt {
+    /// Opaque station identifier (index into the scenario's node table).
+    pub station: u32,
+    /// The slot (0-based within the window) the station's random delay
+    /// timer expires in. The reference node and attackers use slot 0.
+    pub slot: u32,
+}
+
+/// Per-receiver delivery verdict for a successful transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The receiver decoded the beacon.
+    Received,
+    /// The beacon was lost to a packet error at this receiver.
+    Lost,
+}
+
+/// The outcome of one beacon generation window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WindowOutcome {
+    /// Nobody attempted to transmit.
+    Silent,
+    /// The channel was jammed; every transmission was destroyed.
+    Jammed {
+        /// Stations whose transmissions were destroyed.
+        victims: Vec<u32>,
+    },
+    /// Two or more stations transmitted in the earliest occupied slot; all
+    /// their beacons were destroyed. Stations in later slots heard the
+    /// energy and cancelled.
+    Collision {
+        /// The slot in which the collision happened.
+        slot: u32,
+        /// The colliding stations.
+        colliders: Vec<u32>,
+    },
+    /// Exactly one station transmitted in the earliest occupied slot.
+    Success {
+        /// The winning station.
+        winner: u32,
+        /// The slot it transmitted in.
+        slot: u32,
+    },
+}
+
+/// Single-collision-domain channel with Bernoulli packet errors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Channel {
+    /// Packet error rate per (beacon, receiver) pair. The paper sets
+    /// 0.01 % = 1e-4.
+    per: f64,
+    /// When true, every transmission in the current window is destroyed.
+    jammed: bool,
+}
+
+impl Channel {
+    /// Create a channel with the given packet error rate.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ per < 1`.
+    pub fn new(per: f64) -> Self {
+        assert!((0.0..1.0).contains(&per), "PER must be in [0, 1)");
+        Channel { per, jammed: false }
+    }
+
+    /// The paper's channel: PER = 0.01 %.
+    pub fn paper() -> Self {
+        Channel::new(1e-4)
+    }
+
+    /// A perfect channel (no losses) for unit tests.
+    pub fn lossless() -> Self {
+        Channel::new(0.0)
+    }
+
+    /// Packet error rate in force.
+    pub fn per(&self) -> f64 {
+        self.per
+    }
+
+    /// Engage / release the jammer.
+    pub fn set_jammed(&mut self, jammed: bool) {
+        self.jammed = jammed;
+    }
+
+    /// Whether the channel is currently jammed.
+    pub fn is_jammed(&self) -> bool {
+        self.jammed
+    }
+
+    /// Resolve one beacon generation window.
+    ///
+    /// `attempts` lists every station whose delay timer would fire this
+    /// window together with its slot. Order does not matter; determinism
+    /// comes from the content (ties on the earliest slot are a collision,
+    /// not a coin flip).
+    pub fn resolve_window(&self, attempts: &[TxAttempt]) -> WindowOutcome {
+        if attempts.is_empty() {
+            return WindowOutcome::Silent;
+        }
+        if self.jammed {
+            let mut victims: Vec<u32> = attempts.iter().map(|a| a.station).collect();
+            victims.sort_unstable();
+            return WindowOutcome::Jammed { victims };
+        }
+        let min_slot = attempts.iter().map(|a| a.slot).min().expect("non-empty");
+        let mut winners: Vec<u32> = attempts
+            .iter()
+            .filter(|a| a.slot == min_slot)
+            .map(|a| a.station)
+            .collect();
+        winners.sort_unstable();
+        if winners.len() == 1 {
+            WindowOutcome::Success {
+                winner: winners[0],
+                slot: min_slot,
+            }
+        } else {
+            WindowOutcome::Collision {
+                slot: min_slot,
+                colliders: winners,
+            }
+        }
+    }
+
+    /// Per-receiver delivery draw for a successful transmission. One call
+    /// per receiver; the RNG must be the channel-error stream so results
+    /// are independent of unrelated randomness.
+    pub fn deliver<R: Rng + ?Sized>(&self, rng: &mut R) -> Delivery {
+        if self.per > 0.0 && rng.random_range(0.0..1.0) < self.per {
+            Delivery::Lost
+        } else {
+            Delivery::Received
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn at(station: u32, slot: u32) -> TxAttempt {
+        TxAttempt { station, slot }
+    }
+
+    #[test]
+    fn empty_window_is_silent() {
+        assert_eq!(
+            Channel::lossless().resolve_window(&[]),
+            WindowOutcome::Silent
+        );
+    }
+
+    #[test]
+    fn earliest_slot_wins() {
+        let ch = Channel::lossless();
+        let out = ch.resolve_window(&[at(1, 5), at(2, 3), at(3, 9)]);
+        assert_eq!(
+            out,
+            WindowOutcome::Success {
+                winner: 2,
+                slot: 3
+            }
+        );
+    }
+
+    #[test]
+    fn equal_earliest_slots_collide() {
+        let ch = Channel::lossless();
+        let out = ch.resolve_window(&[at(1, 2), at(2, 2), at(3, 7)]);
+        assert_eq!(
+            out,
+            WindowOutcome::Collision {
+                slot: 2,
+                colliders: vec![1, 2]
+            }
+        );
+    }
+
+    #[test]
+    fn later_stations_do_not_collide_with_winner() {
+        // Carrier sense: a station in a later slot cancels; only the
+        // earliest slot's occupancy decides.
+        let ch = Channel::lossless();
+        let out = ch.resolve_window(&[at(9, 0), at(1, 0), at(2, 1), at(3, 1)]);
+        assert_eq!(
+            out,
+            WindowOutcome::Collision {
+                slot: 0,
+                colliders: vec![1, 9]
+            }
+        );
+    }
+
+    #[test]
+    fn order_of_attempts_is_irrelevant() {
+        let ch = Channel::lossless();
+        let a = ch.resolve_window(&[at(1, 4), at(2, 2)]);
+        let b = ch.resolve_window(&[at(2, 2), at(1, 4)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jamming_destroys_everything() {
+        let mut ch = Channel::lossless();
+        ch.set_jammed(true);
+        let out = ch.resolve_window(&[at(3, 0), at(1, 5)]);
+        assert_eq!(
+            out,
+            WindowOutcome::Jammed {
+                victims: vec![1, 3]
+            }
+        );
+        ch.set_jammed(false);
+        assert!(matches!(
+            ch.resolve_window(&[at(3, 0)]),
+            WindowOutcome::Success { winner: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn lossless_channel_always_delivers() {
+        let ch = Channel::lossless();
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        for _ in 0..1000 {
+            assert_eq!(ch.deliver(&mut rng), Delivery::Received);
+        }
+    }
+
+    #[test]
+    fn per_statistics_match_configuration() {
+        let ch = Channel::new(0.05);
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let n = 200_000;
+        let lost = (0..n)
+            .filter(|_| ch.deliver(&mut rng) == Delivery::Lost)
+            .count();
+        let rate = lost as f64 / n as f64;
+        assert!(
+            (rate - 0.05).abs() < 0.005,
+            "observed loss rate {rate}, configured 0.05"
+        );
+    }
+
+    #[test]
+    fn paper_channel_rarely_loses() {
+        let ch = Channel::paper();
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let n = 100_000;
+        let lost = (0..n)
+            .filter(|_| ch.deliver(&mut rng) == Delivery::Lost)
+            .count();
+        // 1e-4 × 1e5 = 10 expected; allow wide slack.
+        assert!(lost < 40, "lost {lost} of {n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "PER must be in")]
+    fn invalid_per_rejected() {
+        let _ = Channel::new(1.0);
+    }
+}

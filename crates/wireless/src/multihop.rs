@@ -1,0 +1,295 @@
+//! Multi-hop beacon-window resolution with carrier sensing and hidden
+//! terminals.
+//!
+//! The single-hop model ([`crate::Channel`]) can decide the whole window
+//! from the earliest occupied slot because everyone hears everyone. In a
+//! multi-hop graph three effects appear that the resolution must model:
+//!
+//! * **local carrier sense** — a station defers only to transmissions it
+//!   can hear (a neighbor that started earlier);
+//! * **hidden terminals** — two transmitters out of each other's range can
+//!   overlap in time and garble a receiver in range of both;
+//! * **sequential reuse** — transmissions far enough apart in time (or in
+//!   space) can both be decoded in the same window, which is what lets
+//!   relays forward a beacon within one beacon period.
+//!
+//! With the full graph this resolution degenerates exactly to the
+//! single-hop rules (verified by a test below).
+
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A station's declared behaviour in a multi-hop beacon window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MhAttempt {
+    /// Station id.
+    pub station: u32,
+    /// Slot the delay timer expires in.
+    pub slot: u32,
+    /// Relay attempt: a forwarding transmission. Unlike contention
+    /// attempts it does **not** cancel-on-hear (hearing upstream traffic is
+    /// the point); it defers only while the channel is busy at its slot.
+    pub relay: bool,
+}
+
+/// One successful beacon decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MhDelivery {
+    /// Receiving station.
+    pub rx: u32,
+    /// Transmitting station.
+    pub tx: u32,
+    /// Slot the transmission started in.
+    pub slot: u32,
+}
+
+/// Resolved multi-hop window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MhOutcome {
+    /// Stations that actually transmitted, with their start slots,
+    /// slot-ordered.
+    pub transmissions: Vec<(u32, u32)>,
+    /// Successful decodes, ordered by start slot then receiver id.
+    pub deliveries: Vec<MhDelivery>,
+}
+
+/// Whether intervals `[a, a+len)` and `[b, b+len)` overlap.
+#[inline]
+fn overlaps(a: u32, b: u32, len: u32) -> bool {
+    a < b + len && b < a + len
+}
+
+/// Resolve one beacon window on `topology`, with beacons lasting
+/// `airtime_slots` slots.
+///
+/// Rules, applied in slot order:
+///
+/// 1. a non-relay attempt transmits unless a *neighbor* started a
+///    transmission in a strictly earlier slot (cancel-on-hear);
+/// 2. a relay attempt does not cancel-on-hear; it defers only if a heard
+///    transmission is still on the air at its slot (channel busy);
+/// 3. a receiver decodes a neighbor's transmission iff no other heard
+///    transmission overlaps it in time and the receiver itself was not
+///    transmitting an overlapping interval (half-duplex).
+pub fn resolve_multihop(
+    topology: &Topology,
+    attempts: &[MhAttempt],
+    airtime_slots: u32,
+) -> MhOutcome {
+    assert!(airtime_slots > 0, "beacons occupy at least one slot");
+    let mut sorted: Vec<MhAttempt> = attempts.to_vec();
+    sorted.sort_by_key(|a| (a.slot, a.station));
+
+    // Decided transmissions (station, start slot), in slot order.
+    let mut txs: Vec<(u32, u32)> = Vec::new();
+
+    let hears_earlier = |txs: &[(u32, u32)], station: u32, slot: u32| {
+        txs.iter()
+            .any(|&(u, s)| s < slot && topology.are_neighbors(station, u))
+    };
+    // A relay does not cancel-on-hear; it defers only while the channel is
+    // busy at its slot.
+    let busy_at = |txs: &[(u32, u32)], station: u32, slot: u32| {
+        txs.iter().any(|&(u, s)| {
+            topology.are_neighbors(station, u) && s <= slot && slot < s + airtime_slots
+        })
+    };
+
+    for a in &sorted {
+        if a.relay {
+            if busy_at(&txs, a.station, a.slot) {
+                continue;
+            }
+        } else if hears_earlier(&txs, a.station, a.slot) {
+            continue; // cancel-on-hear
+        }
+        txs.push((a.station, a.slot));
+    }
+
+    // Deliveries.
+    let mut deliveries = Vec::new();
+    for rx in 0..topology.len() {
+        let own_tx: Option<u32> = txs
+            .iter()
+            .find(|&&(u, _)| u == rx)
+            .map(|&(_, s)| s);
+        for &(tx, s) in &txs {
+            if tx == rx || !topology.are_neighbors(rx, tx) {
+                continue;
+            }
+            // Half-duplex: own transmission overlapping the interval.
+            if let Some(os) = own_tx {
+                if overlaps(s, os, airtime_slots) {
+                    continue;
+                }
+            }
+            // Any other heard transmission overlapping the interval.
+            let garbled = txs.iter().any(|&(v, s2)| {
+                v != tx
+                    && v != rx
+                    && topology.are_neighbors(rx, v)
+                    && overlaps(s, s2, airtime_slots)
+            });
+            if !garbled {
+                deliveries.push(MhDelivery { rx, tx, slot: s });
+            }
+        }
+    }
+    deliveries.sort_by_key(|d| (d.slot, d.rx));
+
+    MhOutcome {
+        transmissions: txs,
+        deliveries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plain(station: u32, slot: u32) -> MhAttempt {
+        MhAttempt {
+            station,
+            slot,
+            relay: false,
+        }
+    }
+
+    fn relay(station: u32, slot: u32) -> MhAttempt {
+        MhAttempt {
+            station,
+            slot,
+            relay: true,
+        }
+    }
+
+    const A: u32 = 7; // secured beacon airtime in slots
+
+    #[test]
+    fn full_graph_matches_single_hop_semantics() {
+        let t = Topology::full(5);
+        // Earliest slot wins; later attempts cancel.
+        let out = resolve_multihop(&t, &[plain(0, 3), plain(1, 1), plain(2, 9)], A);
+        assert_eq!(out.transmissions, vec![(1, 1)]);
+        assert_eq!(out.deliveries.len(), 4, "all others decode the winner");
+
+        // Equal earliest slots collide: both transmit, nobody decodes.
+        let out = resolve_multihop(&t, &[plain(0, 2), plain(1, 2), plain(2, 8)], A);
+        assert_eq!(out.transmissions, vec![(0, 2), (1, 2)]);
+        assert!(out.deliveries.is_empty());
+    }
+
+    #[test]
+    fn hidden_terminals_garble_the_middle() {
+        // 0 — 1 — 2: 0 and 2 cannot hear each other.
+        let t = Topology::line(3);
+        let out = resolve_multihop(&t, &[plain(0, 0), plain(2, 2)], A);
+        // Both transmit (no carrier sense across two hops)...
+        assert_eq!(out.transmissions, vec![(0, 0), (2, 2)]);
+        // ...and station 1, hearing both overlapped, decodes neither.
+        assert!(out.deliveries.is_empty());
+    }
+
+    #[test]
+    fn spatial_reuse_decodes_both_ends() {
+        // 0 — 1 — 2 — 3 — 4: 0 and 4 are far enough apart that their
+        // transmissions coexist: 1 decodes 0, 3 decodes 4.
+        let t = Topology::line(5);
+        let out = resolve_multihop(&t, &[plain(0, 0), plain(4, 0)], A);
+        assert_eq!(out.transmissions.len(), 2);
+        assert_eq!(
+            out.deliveries,
+            vec![
+                MhDelivery { rx: 1, tx: 0, slot: 0 },
+                MhDelivery { rx: 3, tx: 4, slot: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn sequential_transmissions_both_decoded() {
+        let t = Topology::full(3);
+        // Station 2 would defer (hears station 0)... give it a relay-free
+        // window: only station 0 at slot 0; station 1 decodes.
+        let out = resolve_multihop(&t, &[plain(0, 0)], A);
+        assert_eq!(out.deliveries.len(), 2);
+        // Two sequential non-overlapping transmissions (hidden from each
+        // other) are both decodable by a common neighbor.
+        let t = Topology::line(3);
+        let out = resolve_multihop(&t, &[plain(0, 0), plain(2, 8)], A);
+        assert_eq!(
+            out.deliveries,
+            vec![
+                MhDelivery { rx: 1, tx: 0, slot: 0 },
+                MhDelivery { rx: 1, tx: 2, slot: 8 },
+            ]
+        );
+    }
+
+    #[test]
+    fn relay_does_not_cancel_on_hear() {
+        let t = Topology::line(4);
+        // Reference 0 at slot 0; station 1 relays at slot 8 (after the
+        // 7-slot airtime) even though it heard station 0 start earlier;
+        // station 2 decodes the relay.
+        let out = resolve_multihop(&t, &[plain(0, 0), relay(1, 8)], A);
+        assert_eq!(out.transmissions, vec![(0, 0), (1, 8)]);
+        assert!(out
+            .deliveries
+            .contains(&MhDelivery { rx: 2, tx: 1, slot: 8 }));
+
+        // A relay with no upstream traffic still transmits (it forwards
+        // its own disciplined clock).
+        let out = resolve_multihop(&t, &[relay(1, 8)], A);
+        assert_eq!(out.transmissions, vec![(1, 8)]);
+    }
+
+    #[test]
+    fn relay_defers_while_channel_busy() {
+        let t = Topology::line(3);
+        // Relay slot 5 < airtime 7: the upstream transmission still holds
+        // the channel, so the relay defers this window.
+        let out = resolve_multihop(&t, &[plain(0, 0), relay(1, 5)], A);
+        assert_eq!(out.transmissions, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn relay_chain_propagates_across_hops() {
+        // 0 — 1 — 2 — 3 with relays staggered one airtime apart: the
+        // beacon crosses three hops in one window.
+        let t = Topology::line(4);
+        let out = resolve_multihop(
+            &t,
+            &[plain(0, 0), relay(1, 8), relay(2, 16)],
+            A,
+        );
+        assert_eq!(out.transmissions, vec![(0, 0), (1, 8), (2, 16)]);
+        assert!(out
+            .deliveries
+            .contains(&MhDelivery { rx: 3, tx: 2, slot: 16 }));
+    }
+
+    #[test]
+    fn half_duplex_blocks_reception_during_own_tx() {
+        let t = Topology::line(3);
+        // 0 and 1 both transmit at slot 0: 1 cannot decode 0 (own tx), and
+        // 0 cannot decode 1. Station 2 hears only 1 and decodes it.
+        let out = resolve_multihop(&t, &[plain(0, 0), plain(1, 0)], A);
+        assert_eq!(
+            out.deliveries,
+            vec![MhDelivery { rx: 2, tx: 1, slot: 0 }]
+        );
+    }
+
+    #[test]
+    fn deterministic_for_any_input_order() {
+        let t = Topology::grid(3, 3);
+        let a = [plain(0, 2), plain(8, 1), relay(4, 9), plain(2, 2)];
+        let mut b = a;
+        b.reverse();
+        assert_eq!(
+            resolve_multihop(&t, &a, A),
+            resolve_multihop(&t, &b, A)
+        );
+    }
+}

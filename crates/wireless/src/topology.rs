@@ -1,0 +1,246 @@
+//! Network topology for the multi-hop extension.
+//!
+//! The paper's evaluation is single-hop ("all nodes within each other's
+//! transmission range"); extending SSTSP to multi-hop networks is its
+//! stated future work. This module supplies the substrate: a static
+//! connectivity graph with unit-disk and synthetic generators, adjacency
+//! queries for the channel model, and BFS utilities (connectivity, hop
+//! distances) for the experiments that measure error growth per hop.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A static connectivity graph over stations `0..n`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    n: u32,
+    /// Sorted neighbor lists.
+    adj: Vec<Vec<u32>>,
+}
+
+impl Topology {
+    /// Build from an explicit undirected edge list.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn from_edges(n: u32, edges: &[(u32, u32)]) -> Self {
+        let mut adj = vec![Vec::new(); n as usize];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge endpoint out of range");
+            assert_ne!(a, b, "self-loops are not meaningful");
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Topology { n, adj }
+    }
+
+    /// The single-hop IBSS: every pair connected.
+    pub fn full(n: u32) -> Self {
+        let mut adj = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            adj.push((0..n).filter(|&j| j != i).collect());
+        }
+        Topology { n, adj }
+    }
+
+    /// A line (path) of `n` stations — the worst case for per-hop error
+    /// accumulation: diameter n−1.
+    pub fn line(n: u32) -> Self {
+        let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        Self::from_edges(n, &edges)
+    }
+
+    /// A `cols × rows` grid with 4-neighborhood.
+    pub fn grid(cols: u32, rows: u32) -> Self {
+        let n = cols * rows;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((i, i + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((i, i + cols));
+                }
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// Unit-disk graph: stations uniform in a `side × side` area, connected
+    /// within `range`. Retries until connected (up to 64 attempts).
+    ///
+    /// # Panics
+    /// Panics if no connected placement is found — pick a larger range or
+    /// smaller area.
+    pub fn random_disk<R: Rng + ?Sized>(n: u32, side: f64, range: f64, rng: &mut R) -> Self {
+        for _ in 0..64 {
+            let pos: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.random_range(0.0..side), rng.random_range(0.0..side)))
+                .collect();
+            let mut edges = Vec::new();
+            for i in 0..n as usize {
+                for j in i + 1..n as usize {
+                    let dx = pos[i].0 - pos[j].0;
+                    let dy = pos[i].1 - pos[j].1;
+                    if (dx * dx + dy * dy).sqrt() <= range {
+                        edges.push((i as u32, j as u32));
+                    }
+                }
+            }
+            let t = Self::from_edges(n, &edges);
+            if t.is_connected() {
+                return t;
+            }
+        }
+        panic!("no connected unit-disk placement found for n={n}, side={side}, range={range}");
+    }
+
+    /// Number of stations.
+    pub fn len(&self) -> u32 {
+        self.n
+    }
+
+    /// True for the degenerate empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sorted neighbors of `i`.
+    pub fn neighbors(&self, i: u32) -> &[u32] {
+        &self.adj[i as usize]
+    }
+
+    /// Whether `i` and `j` are within range of each other.
+    pub fn are_neighbors(&self, i: u32, j: u32) -> bool {
+        self.adj[i as usize].binary_search(&j).is_ok()
+    }
+
+    /// BFS hop distances from `src` (`u32::MAX` = unreachable).
+    pub fn hops_from(&self, src: u32) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.n as usize];
+        let mut q = VecDeque::new();
+        dist[src as usize] = 0;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            for &v in self.neighbors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Whether every station can reach every other.
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        self.hops_from(0).iter().all(|&d| d != u32::MAX)
+    }
+
+    /// Graph diameter (longest shortest path); `None` if disconnected.
+    pub fn diameter(&self) -> Option<u32> {
+        let mut best = 0;
+        for i in 0..self.n {
+            let d = self.hops_from(i);
+            let far = *d.iter().max()?;
+            if far == u32::MAX {
+                return None;
+            }
+            best = best.max(far);
+        }
+        Some(best)
+    }
+
+    /// Mean node degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.adj.iter().map(|a| a.len()).sum::<usize>() as f64 / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn full_graph_connects_everyone() {
+        let t = Topology::full(5);
+        assert_eq!(t.len(), 5);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), Some(1));
+        assert_eq!(t.neighbors(2), &[0, 1, 3, 4]);
+        assert!(t.are_neighbors(0, 4));
+        assert!(!t.are_neighbors(3, 3));
+    }
+
+    #[test]
+    fn line_has_expected_diameter() {
+        let t = Topology::line(7);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), Some(6));
+        assert_eq!(t.neighbors(0), &[1]);
+        assert_eq!(t.neighbors(3), &[2, 4]);
+        let d = t.hops_from(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let t = Topology::grid(4, 3);
+        assert_eq!(t.len(), 12);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), Some(5)); // (4-1) + (3-1)
+        // Corner has 2 neighbors, center has 4.
+        assert_eq!(t.neighbors(0).len(), 2);
+        assert_eq!(t.neighbors(5).len(), 4);
+    }
+
+    #[test]
+    fn from_edges_dedups_and_sorts() {
+        let t = Topology::from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(t.neighbors(1), &[0, 2]);
+        assert_eq!(t.mean_degree(), 4.0 / 3.0);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let t = Topology::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!t.is_connected());
+        assert_eq!(t.diameter(), None);
+        assert_eq!(t.hops_from(0)[2], u32::MAX);
+    }
+
+    #[test]
+    fn random_disk_is_connected_and_ranged() {
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let t = Topology::random_disk(30, 100.0, 35.0, &mut rng);
+        assert!(t.is_connected());
+        assert!(t.diameter().unwrap() >= 2, "should be genuinely multi-hop");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let _ = Topology::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        let _ = Topology::from_edges(2, &[(0, 5)]);
+    }
+}

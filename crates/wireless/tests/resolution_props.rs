@@ -1,0 +1,129 @@
+//! Property tests for the window-resolution models.
+
+use proptest::prelude::*;
+use wireless::{resolve_multihop, Channel, MhAttempt, Topology, TxAttempt, WindowOutcome};
+
+fn attempts_strategy(max_station: u32) -> impl Strategy<Value = Vec<TxAttempt>> {
+    proptest::collection::vec(
+        (0..max_station, 0u32..31).prop_map(|(station, slot)| TxAttempt { station, slot }),
+        0..12,
+    )
+    .prop_map(|mut v| {
+        // One attempt per station.
+        v.sort_by_key(|a| a.station);
+        v.dedup_by_key(|a| a.station);
+        v
+    })
+}
+
+proptest! {
+    /// Single-hop invariants: the winner (if any) owns the strictly
+    /// earliest slot; collisions happen exactly when the earliest slot is
+    /// shared; silence exactly when nobody attempts.
+    #[test]
+    fn single_hop_window_invariants(attempts in attempts_strategy(32)) {
+        let ch = Channel::lossless();
+        match ch.resolve_window(&attempts) {
+            WindowOutcome::Silent => prop_assert!(attempts.is_empty()),
+            WindowOutcome::Success { winner, slot } => {
+                let min = attempts.iter().map(|a| a.slot).min().unwrap();
+                prop_assert_eq!(slot, min);
+                prop_assert_eq!(
+                    attempts.iter().filter(|a| a.slot == min).count(), 1);
+                prop_assert!(attempts.iter().any(|a| a.station == winner && a.slot == min));
+            }
+            WindowOutcome::Collision { slot, colliders } => {
+                let min = attempts.iter().map(|a| a.slot).min().unwrap();
+                prop_assert_eq!(slot, min);
+                prop_assert!(colliders.len() >= 2);
+                let expect: Vec<u32> = {
+                    let mut v: Vec<u32> = attempts
+                        .iter()
+                        .filter(|a| a.slot == min)
+                        .map(|a| a.station)
+                        .collect();
+                    v.sort_unstable();
+                    v
+                };
+                prop_assert_eq!(colliders, expect);
+            }
+            WindowOutcome::Jammed { .. } => prop_assert!(false, "not jammed"),
+        }
+    }
+
+    /// On the full graph, multi-hop resolution agrees with the single-hop
+    /// channel about who gets a beacon out first.
+    #[test]
+    fn multihop_on_full_graph_matches_single_hop(attempts in attempts_strategy(10)) {
+        let n = 10;
+        let topo = Topology::full(n);
+        let mh: Vec<MhAttempt> = attempts
+            .iter()
+            .map(|a| MhAttempt { station: a.station, slot: a.slot, relay: false })
+            .collect();
+        let out = resolve_multihop(&topo, &mh, 7);
+        match Channel::lossless().resolve_window(&attempts) {
+            WindowOutcome::Silent => prop_assert!(out.transmissions.is_empty()),
+            WindowOutcome::Success { winner, slot } => {
+                // The single-hop winner transmits first; later
+                // transmissions are possible in the multi-hop model only if
+                // non-overlapping, and every receiver decodes the winner.
+                prop_assert_eq!(out.transmissions[0], (winner, slot));
+                let decoders = out
+                    .deliveries
+                    .iter()
+                    .filter(|d| d.tx == winner)
+                    .count() as u32;
+                prop_assert_eq!(decoders, n - 1);
+            }
+            WindowOutcome::Collision { slot, colliders } => {
+                // All earliest-slot stations transmit and garble each other:
+                // nobody decodes any of them.
+                for c in &colliders {
+                    prop_assert!(out.transmissions.contains(&(*c, slot)));
+                    prop_assert!(out.deliveries.iter().all(|d| d.tx != *c));
+                }
+            }
+            WindowOutcome::Jammed { .. } => prop_assert!(false),
+        }
+    }
+
+    /// Multi-hop sanity on random connected unit-disk graphs: transmitters
+    /// never overlap in time with a *heard* transmission they started after
+    /// (carrier sense), and deliveries only cross edges of the graph.
+    #[test]
+    fn multihop_respects_topology_and_carrier_sense(
+        seed in any::<u64>(),
+        raw in proptest::collection::vec((0u32..20, 0u32..31, any::<bool>()), 0..16),
+    ) {
+        use rand_chacha::rand_core::SeedableRng;
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+        let topo = Topology::random_disk(20, 100.0, 45.0, &mut rng);
+        let mut attempts: Vec<MhAttempt> = raw
+            .into_iter()
+            .map(|(station, slot, relay)| MhAttempt { station, slot, relay })
+            .collect();
+        attempts.sort_by_key(|a| a.station);
+        attempts.dedup_by_key(|a| a.station);
+
+        let airtime = 7;
+        let out = resolve_multihop(&topo, &attempts, airtime);
+
+        for d in &out.deliveries {
+            prop_assert!(topo.are_neighbors(d.rx, d.tx), "delivery across non-edge");
+        }
+        // No non-relay transmitter starts strictly after a neighbor it can
+        // hear already started.
+        for &(u, su) in &out.transmissions {
+            let is_relay = attempts.iter().find(|a| a.station == u).unwrap().relay;
+            if is_relay {
+                continue;
+            }
+            for &(v, sv) in &out.transmissions {
+                if u != v && topo.are_neighbors(u, v) {
+                    prop_assert!(sv >= su, "non-relay {u}@{su} ignored earlier {v}@{sv}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Regenerate every table and figure of the paper's evaluation (Sec. 5).
+//!
+//! ```text
+//! cargo run --release --example paper_figures            # everything, paper scale
+//! cargo run --release --example paper_figures -- fig2    # one figure
+//! cargo run --release --example paper_figures -- all quick   # reduced scale
+//! ```
+//!
+//! Paper-scale SSTSP runs simulate 500 stations for 1000 s with full µTESLA
+//! authentication on every beacon — expect ~15 s of wall time per SSTSP
+//! figure on a laptop.
+
+use sstsp::experiments::{ablation, fig1, fig2, fig3, fig4, multihop, overhead, table1, Fidelity};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let fid = if args.iter().any(|a| a == "quick") {
+        Fidelity::Quick
+    } else {
+        Fidelity::Paper
+    };
+    let seed = 2006; // ICPP 2006
+    println!(
+        "SSTSP reproduction — {} at {:?} fidelity (seed {seed})\n",
+        which, fid
+    );
+
+    let run_fig1 = || println!("{}", fig1::run(fid, seed).render());
+    let run_fig2 = || {
+        let f = fig2::run(fid, seed);
+        println!("{}", f.render());
+        println!(
+            "  paper claim (< 10 µs after stabilization): {}\n",
+            if f.shape_holds() { "HOLDS" } else { "DEVIATES" }
+        );
+    };
+    let run_fig3 = || {
+        let f = fig3::run(fid, seed);
+        println!("{}", f.render());
+        println!(
+            "  paper claim (attack desynchronizes TSF by orders of magnitude): {}\n",
+            if f.shape_holds() { "HOLDS" } else { "DEVIATES" }
+        );
+    };
+    let run_fig4 = || {
+        let f = fig4::run(fid, seed);
+        println!("{}", f.render());
+        println!(
+            "  paper claim (attacker cannot desynchronize SSTSP): {}\n",
+            if f.shape_holds() { "HOLDS" } else { "DEVIATES" }
+        );
+    };
+    let run_table1 = || {
+        let t = table1::run(fid, seed);
+        println!("{}", t.render());
+        println!(
+            "  paper shape (latency grows with m, error ≤ 25 µs): {}\n",
+            if t.shape_holds() { "HOLDS" } else { "DEVIATES" }
+        );
+    };
+    let run_ablation = || {
+        println!("{}", ablation::ref_change(fid, seed).render());
+        println!();
+        println!("{}", ablation::guard_sweep(fid, seed).render());
+        println!();
+    };
+    let run_multihop = || {
+        let m = multihop::run(fid, seed);
+        println!("{}", m.render());
+        println!(
+            "  extension shape (line tight, grid merged): {}\n",
+            if m.shape_holds() { "HOLDS" } else { "DEVIATES" }
+        );
+    };
+    let run_overhead = || {
+        let o = overhead::run();
+        println!("{}", o.render());
+        println!(
+            "  paper budget (56→92 B, log2(n) chain costs): {}\n",
+            if o.shape_holds() { "HOLDS" } else { "DEVIATES" }
+        );
+    };
+
+    match which {
+        "fig1" => run_fig1(),
+        "fig2" => run_fig2(),
+        "fig3" => run_fig3(),
+        "fig4" => run_fig4(),
+        "table1" => run_table1(),
+        "ablation" => run_ablation(),
+        "multihop" => run_multihop(),
+        "overhead" => run_overhead(),
+        "all" => {
+            run_fig1();
+            run_fig2();
+            run_fig3();
+            run_fig4();
+            run_table1();
+            run_ablation();
+            run_multihop();
+            run_overhead();
+        }
+        other => {
+            eprintln!(
+                "unknown target '{other}'; use fig1|fig2|fig3|fig4|table1|ablation|multihop|overhead|all [quick]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Quickstart: build a small SSTSP network, run it, print the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sstsp::{Network, ProtocolKind, ScenarioConfig};
+
+fn main() {
+    // 30 stations, 60 simulated seconds, deterministic seed.
+    let cfg = ScenarioConfig::new(ProtocolKind::Sstsp, 30, 60.0, 42);
+    println!(
+        "Simulating {} stations running {} for {} s (seed {})...",
+        cfg.n_nodes,
+        cfg.protocol.name(),
+        cfg.duration_s,
+        cfg.seed
+    );
+    let result = Network::build(&cfg).run();
+
+    println!("{}", sstsp::report::render_series_chart(&result.spread, 72, 12));
+    match result.sync_latency_s {
+        Some(l) => println!("synchronized after {l:.1} s (max diff ≤ 25 µs sustained)"),
+        None => println!("network never synchronized!"),
+    }
+    if let Some(e) = result.steady_error_us {
+        println!("steady-state synchronization error: {e:.1} µs");
+    }
+    println!(
+        "beacons: {} successful, {} collided, {} silent windows",
+        result.tx_successes, result.tx_collisions, result.silent_windows
+    );
+    println!(
+        "reference changes: {}, final reference: {:?}",
+        result.reference_changes, result.final_reference
+    );
+}

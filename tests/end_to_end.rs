@@ -1,0 +1,145 @@
+//! End-to-end integration tests spanning every crate: engine + MAC +
+//! channel + clocks + crypto + protocols.
+
+use simcore::SimTime;
+use sstsp::{Network, ProtocolKind, ScenarioConfig};
+
+#[test]
+fn every_protocol_runs_to_completion() {
+    for kind in [
+        ProtocolKind::Tsf,
+        ProtocolKind::Atsp,
+        ProtocolKind::Tatsp,
+        ProtocolKind::Satsf,
+        ProtocolKind::Sstsp,
+    ] {
+        let cfg = ScenarioConfig::new(kind, 10, 15.0, 3);
+        let r = Network::build(&cfg).run();
+        assert_eq!(r.spread.len() as u64, cfg.total_bps(), "{kind:?}");
+        assert_eq!(r.protocol, kind.name());
+        assert!(r.tx_successes > 0, "{kind:?} never transmitted a beacon");
+    }
+}
+
+#[test]
+fn sstsp_beats_tsf_at_moderate_scale() {
+    let sstsp = Network::build(&ScenarioConfig::new(ProtocolKind::Sstsp, 40, 30.0, 21)).run();
+    let tsf = Network::build(&ScenarioConfig::new(ProtocolKind::Tsf, 40, 30.0, 21)).run();
+    let s_tail = sstsp
+        .spread
+        .max_in(SimTime::from_secs(20), SimTime::from_secs(30))
+        .unwrap();
+    let t_tail = tsf
+        .spread
+        .max_in(SimTime::from_secs(20), SimTime::from_secs(30))
+        .unwrap();
+    assert!(
+        s_tail * 5.0 < t_tail,
+        "SSTSP ({s_tail:.1} µs) should be far tighter than TSF ({t_tail:.1} µs)"
+    );
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let cfg = ScenarioConfig::paper(ProtocolKind::Sstsp, 12, 9).with_m(3);
+    let mut cfg = cfg;
+    cfg.duration_s = 30.0;
+    cfg.ref_leaves_s = vec![10.0];
+    let a = Network::build(&cfg).run();
+    let b = Network::build(&cfg).run();
+    assert_eq!(a.spread.values(), b.spread.values());
+    assert_eq!(a.tx_successes, b.tx_successes);
+    assert_eq!(a.reference_changes, b.reference_changes);
+    assert_eq!(a.retargets, b.retargets);
+}
+
+#[test]
+fn churn_departures_and_returns_are_survived() {
+    let mut cfg = ScenarioConfig::new(ProtocolKind::Sstsp, 20, 60.0, 31);
+    cfg.churn = Some(sstsp::ChurnConfig {
+        period_s: 15.0,
+        fraction: 0.2,
+        absence_s: 10.0,
+    });
+    let r = Network::build(&cfg).run();
+    assert!(r.sync_latency_s.is_some());
+    // Returned nodes run the coarse phase and rejoin; the network ends
+    // synchronized with everyone back.
+    let tail = r
+        .spread
+        .max_in(SimTime::from_secs(55), SimTime::from_secs(60))
+        .unwrap();
+    assert!(tail < 25.0, "post-churn spread {tail} µs");
+    assert!(r.retargets > 1_000, "members keep retargeting");
+}
+
+#[test]
+fn reference_departures_trigger_reelection() {
+    let mut cfg = ScenarioConfig::new(ProtocolKind::Sstsp, 15, 40.0, 41);
+    cfg.ref_leaves_s = vec![15.0, 25.0];
+    let r = Network::build(&cfg).run();
+    assert!(
+        r.reference_changes >= 3,
+        "expected ≥3 reference changes (initial + 2 departures), got {}",
+        r.reference_changes
+    );
+    let tail = r
+        .spread
+        .max_in(SimTime::from_secs(35), SimTime::from_secs(40))
+        .unwrap();
+    assert!(tail < 25.0, "network re-synchronized after departures");
+}
+
+#[test]
+fn sstsp_clock_continuity_no_leaps() {
+    // The headline SSTSP property at full-system level: sampled each BP,
+    // every honest clock advances by ≈ one BP — no steps, no backward
+    // leaps. We verify on the spread series' smoothness instead of raw
+    // clocks: a discontinuous leap of any single clock would spike the
+    // pairwise spread by the leap size.
+    let cfg = ScenarioConfig::new(ProtocolKind::Sstsp, 15, 30.0, 51);
+    let r = Network::build(&cfg).run();
+    let values = r.spread.values();
+    // After convergence, consecutive spread samples move by ≤ a few µs.
+    let latency_idx = values.iter().position(|&v| v < 25.0).unwrap();
+    for w in values[latency_idx + 50..].windows(2) {
+        assert!(
+            (w[1] - w[0]).abs() < 15.0,
+            "spread jumped {} → {} µs mid-run",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+#[test]
+fn atsp_family_improves_on_tsf() {
+    // The related-work protocols should sit between TSF and SSTSP.
+    let n = 50;
+    let tail = |kind| {
+        let r = Network::build(&ScenarioConfig::new(kind, n, 40.0, 61)).run();
+        r.spread
+            .max_in(SimTime::from_secs(25), SimTime::from_secs(40))
+            .unwrap()
+    };
+    let tsf = tail(ProtocolKind::Tsf);
+    let atsp = tail(ProtocolKind::Atsp);
+    let satsf = tail(ProtocolKind::Satsf);
+    assert!(
+        atsp < tsf && satsf < tsf,
+        "priority schemes must beat TSF: tsf {tsf:.0}, atsp {atsp:.0}, satsf {satsf:.0}"
+    );
+}
+
+#[test]
+fn packet_errors_do_not_derail_sstsp() {
+    let mut cfg = ScenarioConfig::new(ProtocolKind::Sstsp, 15, 40.0, 71);
+    cfg.per = 0.02; // 200× the paper's loss rate
+    let r = Network::build(&cfg).run();
+    assert!(r.sync_latency_s.is_some());
+    let tail = r
+        .spread
+        .max_in(SimTime::from_secs(30), SimTime::from_secs(40))
+        .unwrap();
+    assert!(tail < 25.0, "lossy-channel spread {tail} µs");
+}

@@ -1,0 +1,88 @@
+//! Scalability integration tests: the paper's core comparative claim at
+//! reduced (test-budget) scale — SSTSP's accuracy is flat in N while TSF
+//! degrades, because SSTSP removes per-BP contention entirely.
+
+use simcore::SimTime;
+use sstsp::sweep::run_configs;
+use sstsp::{ProtocolKind, ScenarioConfig};
+
+fn tails(kind: ProtocolKind, sizes: &[u32], duration_s: f64, seed: u64) -> Vec<f64> {
+    let configs: Vec<ScenarioConfig> = sizes
+        .iter()
+        .map(|&n| ScenarioConfig::new(kind, n, duration_s, seed))
+        .collect();
+    run_configs(&configs)
+        .iter()
+        .map(|r| {
+            r.spread
+                .max_in(
+                    SimTime::from_secs_f64(duration_s * 0.6),
+                    SimTime::from_secs_f64(duration_s),
+                )
+                .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn sstsp_accuracy_is_flat_in_network_size() {
+    let sizes = [10u32, 20, 40];
+    let t = tails(ProtocolKind::Sstsp, &sizes, 30.0, 19);
+    for (n, tail) in sizes.iter().zip(&t) {
+        assert!(
+            *tail < 25.0,
+            "SSTSP at {n} stations: steady spread {tail:.1} µs"
+        );
+    }
+    // Flat: largest size within 4× of smallest (noise), no growth trend.
+    let min = t.iter().cloned().fold(f64::MAX, f64::min);
+    let max = t.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(
+        max < min * 4.0 + 5.0,
+        "SSTSP spread should not scale with N: {t:?}"
+    );
+}
+
+#[test]
+fn tsf_accuracy_degrades_with_network_size() {
+    let sizes = [10u32, 40];
+    let t = tails(ProtocolKind::Tsf, &sizes, 30.0, 19);
+    assert!(
+        t[1] > t[0],
+        "TSF at 40 stations ({:.0} µs) should be worse than at 10 ({:.0} µs)",
+        t[1],
+        t[0]
+    );
+    assert!(t[1] > 25.0, "TSF at 40 stations should miss the 25 µs bound");
+}
+
+#[test]
+fn beacon_traffic_is_one_per_bp_for_sstsp() {
+    // "The number of synchronization beacons emitted in SSTSP is the same
+    // as in TSF" (Sec. 3.4) — at steady state exactly one per BP, and the
+    // contention-free schedule means virtually no collisions.
+    let cfg = ScenarioConfig::new(ProtocolKind::Sstsp, 30, 30.0, 23);
+    let r = sstsp::Network::build(&cfg).run();
+    let total = cfg.total_bps();
+    assert!(
+        r.tx_successes as f64 > 0.95 * total as f64,
+        "expected ~1 beacon per BP, got {} of {}",
+        r.tx_successes,
+        total
+    );
+    assert!(
+        r.tx_collisions < total / 20,
+        "collisions should be rare after election: {}",
+        r.tx_collisions
+    );
+}
+
+#[test]
+fn sweep_helpers_cover_seed_grid() {
+    let base = ScenarioConfig::new(ProtocolKind::Sstsp, 8, 10.0, 0);
+    let results = sstsp::sweep::run_seeds(&base, &[1, 2, 3, 4]);
+    assert_eq!(results.len(), 4);
+    let (mean_latency, n) = sstsp::sweep::mean_of(&results, |r| r.sync_latency_s);
+    assert!(n >= 3, "most seeds synchronize");
+    assert!(mean_latency.unwrap() > 0.0);
+}
