@@ -38,6 +38,9 @@ impl Default for GesdConfig {
 
 /// Inverse standard normal CDF (Acklam's rational approximation,
 /// |ε| < 1.15e-9).
+// Coefficients quoted verbatim from Acklam's publication, trailing zeros
+// included.
+#[allow(clippy::excessive_precision)]
 fn inv_norm(p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0, "probability out of range");
     const A: [f64; 6] = [
@@ -105,10 +108,10 @@ fn inv_t(p: f64, df: f64) -> f64 {
     let g1 = (x.powi(3) + x) / 4.0;
     let g2 = (5.0 * x.powi(5) + 16.0 * x.powi(3) + 3.0 * x) / 96.0;
     let g3 = (3.0 * x.powi(7) + 19.0 * x.powi(5) + 17.0 * x.powi(3) - 15.0 * x) / 384.0;
-    let g4 =
-        (79.0 * x.powi(9) + 776.0 * x.powi(7) + 1482.0 * x.powi(5) - 1920.0 * x.powi(3)
-            - 945.0 * x)
-            / 92_160.0;
+    let g4 = (79.0 * x.powi(9) + 776.0 * x.powi(7) + 1482.0 * x.powi(5)
+        - 1920.0 * x.powi(3)
+        - 945.0 * x)
+        / 92_160.0;
     x + g1 / df + g2 / df.powi(2) + g3 / df.powi(3) + g4 / df.powi(4)
 }
 
@@ -142,11 +145,7 @@ pub fn gesd_outliers(data: &[f64], config: GesdConfig) -> Vec<usize> {
     for i in 1..=r {
         let m = working.len() as f64;
         let mean = working.iter().map(|(_, x)| x).sum::<f64>() / m;
-        let var = working
-            .iter()
-            .map(|(_, x)| (x - mean).powi(2))
-            .sum::<f64>()
-            / (m - 1.0);
+        let var = working.iter().map(|(_, x)| (x - mean).powi(2)).sum::<f64>() / (m - 1.0);
         let sd = var.sqrt();
         if sd <= f64::EPSILON {
             break; // all remaining points identical: no further outliers
@@ -181,10 +180,10 @@ mod tests {
     /// example; the documented conclusion is exactly 3 outliers
     /// (6.01, 5.42, 5.34).
     const ROSNER: [f64; 54] = [
-        -0.25, 0.68, 0.94, 1.15, 1.20, 1.26, 1.26, 1.34, 1.38, 1.43, 1.49, 1.49, 1.55, 1.56,
-        1.58, 1.65, 1.69, 1.70, 1.76, 1.77, 1.81, 1.91, 1.94, 1.96, 1.99, 2.06, 2.09, 2.10,
-        2.14, 2.15, 2.23, 2.24, 2.26, 2.35, 2.37, 2.40, 2.47, 2.54, 2.62, 2.64, 2.90, 2.92,
-        2.92, 2.93, 3.21, 3.26, 3.30, 3.59, 3.68, 4.30, 4.64, 5.34, 5.42, 6.01,
+        -0.25, 0.68, 0.94, 1.15, 1.20, 1.26, 1.26, 1.34, 1.38, 1.43, 1.49, 1.49, 1.55, 1.56, 1.58,
+        1.65, 1.69, 1.70, 1.76, 1.77, 1.81, 1.91, 1.94, 1.96, 1.99, 2.06, 2.09, 2.10, 2.14, 2.15,
+        2.23, 2.24, 2.26, 2.35, 2.37, 2.40, 2.47, 2.54, 2.62, 2.64, 2.90, 2.92, 2.92, 2.93, 3.21,
+        3.26, 3.30, 3.59, 3.68, 4.30, 4.64, 5.34, 5.42, 6.01,
     ];
 
     #[test]
@@ -228,9 +227,7 @@ mod tests {
 
     #[test]
     fn single_gross_outlier_detected() {
-        let mut data: Vec<f64> = (1..=30)
-            .map(|i| inv_norm(i as f64 / 31.0) * 2.0)
-            .collect();
+        let mut data: Vec<f64> = (1..=30).map(|i| inv_norm(i as f64 / 31.0) * 2.0).collect();
         data.push(500.0);
         let out = gesd_outliers(&data, GesdConfig::default());
         assert_eq!(out, vec![30]);
@@ -248,7 +245,10 @@ mod tests {
         }
         let out = gesd_outliers(&data, GesdConfig::default());
         assert_eq!(out.len(), 4);
-        assert!(out.iter().all(|&i| i >= 20), "flagged honest offsets: {out:?}");
+        assert!(
+            out.iter().all(|&i| i >= 20),
+            "flagged honest offsets: {out:?}"
+        );
     }
 
     #[test]
@@ -267,9 +267,7 @@ mod tests {
     #[test]
     fn max_outliers_caps_detection() {
         // r = 1 with a single gross outlier: detected.
-        let mut data: Vec<f64> = (1..=30)
-            .map(|i| inv_norm(i as f64 / 31.0) * 2.0)
-            .collect();
+        let mut data: Vec<f64> = (1..=30).map(|i| inv_norm(i as f64 / 31.0) * 2.0).collect();
         data.push(1_000.0);
         let cfg = GesdConfig {
             max_outliers: 1,

@@ -91,7 +91,9 @@ mod tests {
     fn rejects_biased_offsets() {
         // 7 honest offsets near 5 µs, 3 attacker offsets near -40 000 µs.
         let f = ThresholdFilter::new(50.0);
-        let data = [4.0, 5.0, 6.0, 5.5, 4.5, 5.2, 4.8, -40_000.0, -39_990.0, -40_010.0];
+        let data = [
+            4.0, 5.0, 6.0, 5.5, 4.5, 5.2, 4.8, -40_000.0, -39_990.0, -40_010.0,
+        ];
         let kept = f.accept(&data);
         assert_eq!(kept.len(), 7);
         assert!(kept.iter().all(|&x| x > 0.0));
@@ -104,7 +106,9 @@ mod tests {
         // With ≥ 50% malicious samples the median defence breaks down —
         // document the boundary: 5 honest vs 5 malicious.
         let f = ThresholdFilter::new(50.0);
-        let data = [0.0, 1.0, 2.0, 1.5, 0.5, 9_000.0, 9_001.0, 9_002.0, 8_999.0, 9_003.0];
+        let data = [
+            0.0, 1.0, 2.0, 1.5, 0.5, 9_000.0, 9_001.0, 9_002.0, 8_999.0, 9_003.0,
+        ];
         let kept = f.accept(&data);
         // Median sits between the clusters; both are > 50 µs away, so
         // nothing survives — a detectable "cannot synchronize" signal

@@ -12,12 +12,10 @@
 //! Being an *internal* attacker — a compromised legitimate node — it owns
 //! an authenticated hash chain and its beacons pass µTESLA.
 
-use protocols::api::{
-    BeaconIntent, BeaconPayload, NodeCtx, ReceivedBeacon, SyncProtocol,
-};
 use mac80211::frame::BeaconBody;
+use protocols::api::{BeaconIntent, BeaconPayload, NodeCtx, ReceivedBeacon, SyncProtocol};
 use rand::Rng;
-use sstsp_crypto::{sign_with_chain, ChainElement, HashChain};
+use sstsp_crypto::{ChainElement, IntervalSchedule, MuTeslaSigner};
 
 /// When the attacker is active, in the attacker's own clock (µs).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,7 +52,7 @@ pub struct FastBeaconAttacker<P: SyncProtocol> {
     /// Whether forged beacons carry µTESLA fields (attack on SSTSP) or are
     /// plain TSF beacons (attack on TSF-family protocols).
     secured: bool,
-    chain: Option<HashChain>,
+    signer: Option<MuTeslaSigner>,
     seq: u32,
     /// Beacons transmitted while attacking.
     pub beacons_sent: u64,
@@ -70,7 +68,7 @@ impl<P: SyncProtocol> FastBeaconAttacker<P> {
             window,
             error_us,
             secured,
-            chain: None,
+            signer: None,
             seq: 0,
             beacons_sent: 0,
         }
@@ -85,21 +83,24 @@ impl<P: SyncProtocol> FastBeaconAttacker<P> {
         self.window.contains(self.inner.clock_us(local_us))
     }
 
-    /// The attacker signs with its node's *legitimate* published chain: it
-    /// is an internal adversary that compromised an initialized station. If
-    /// the wrapped protocol has no chain (e.g. a TSF node in unit tests),
-    /// one is generated and published here.
-    fn ensure_chain(&mut self, ctx: &mut NodeCtx<'_>) {
-        if self.chain.is_none() {
-            if let Some(c) = self.inner.hash_chain() {
-                self.chain = Some(c.clone());
+    /// The attacker signs with its node's *legitimate* published
+    /// credentials: it is an internal adversary that compromised an
+    /// initialized station, so it knows the chain seed and rebuilds an
+    /// equivalent signer from it. If the wrapped protocol has no chain
+    /// (e.g. a TSF node in unit tests), a seed is generated and its anchor
+    /// published here.
+    fn ensure_signer(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.signer.is_none() {
+            let sched = IntervalSchedule::new(0.0, ctx.config.bp_us, ctx.config.total_intervals);
+            if let Some(seed) = self.inner.chain_seed() {
+                self.signer = Some(MuTeslaSigner::new(seed, sched));
                 return;
             }
             let mut seed: ChainElement = [0u8; 16];
             ctx.rng.fill(&mut seed);
-            let chain = HashChain::generate(seed, ctx.config.total_intervals);
-            ctx.anchors.publish(ctx.id, chain.anchor());
-            self.chain = Some(chain);
+            let signer = MuTeslaSigner::new(seed, sched);
+            ctx.anchors.publish(ctx.id, signer.anchor());
+            self.signer = Some(signer);
         }
     }
 }
@@ -129,11 +130,11 @@ impl<P: SyncProtocol> SyncProtocol for FastBeaconAttacker<P> {
             hop: 0,
         };
         if self.secured {
-            self.ensure_chain(ctx);
+            self.ensure_signer(ctx);
             let j = ((clock / ctx.config.bp_us).round().max(1.0) as usize)
                 .min(ctx.config.total_intervals);
-            let chain = self.chain.as_ref().expect("chain ensured");
-            let auth = sign_with_chain(chain, &body.auth_bytes(), j);
+            let signer = self.signer.as_mut().expect("signer ensured");
+            let auth = signer.sign(&body.auth_bytes(), j);
             BeaconPayload::Secured(body, auth)
         } else {
             BeaconPayload::Plain(body)
@@ -173,8 +174,8 @@ impl<P: SyncProtocol> SyncProtocol for FastBeaconAttacker<P> {
         self.inner.init(ctx);
     }
 
-    fn hash_chain(&self) -> Option<&sstsp_crypto::HashChain> {
-        self.inner.hash_chain()
+    fn chain_seed(&self) -> Option<ChainElement> {
+        self.inner.chain_seed()
     }
 
     fn is_reference(&self) -> bool {
@@ -268,12 +269,23 @@ mod tests {
         let mut env = Env::new();
         let b = a.make_beacon(&mut env.ctx(450e6));
         assert!(b.is_secured());
-        assert!(env.anchors.get(99).is_some(), "internal attacker's anchor is published");
-        // The forged beacon authenticates against the attacker's own chain.
-        let BeaconPayload::Secured(body, auth) = b else { unreachable!() };
+        let anchor = env
+            .anchors
+            .get(99)
+            .expect("internal attacker's anchor is published");
+        // The forged beacon authenticates against the attacker's own chain:
+        // the disclosed key hashes to the published anchor at distance j-1,
+        // and re-signing the same interval reproduces the fields exactly.
+        let BeaconPayload::Secured(body, auth) = b else {
+            unreachable!()
+        };
         let j = auth.interval as usize;
-        let chain = a.chain.as_ref().unwrap();
-        let expected = sign_with_chain(chain, &body.auth_bytes(), j);
+        assert!(sstsp_crypto::verify_distance(
+            &auth.disclosed,
+            &anchor,
+            j - 1
+        ));
+        let expected = a.signer.as_mut().unwrap().sign(&body.auth_bytes(), j);
         assert_eq!(auth, expected);
         assert_eq!(auth.interval, 4_500, "interval from the attacker clock");
     }

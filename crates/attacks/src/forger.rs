@@ -8,9 +8,7 @@
 //! MAC of the buffered beacon fails once a genuine key discloses.
 
 use mac80211::frame::BeaconBody;
-use protocols::api::{
-    BeaconIntent, BeaconPayload, NodeCtx, NodeId, ReceivedBeacon, SyncProtocol,
-};
+use protocols::api::{BeaconIntent, BeaconPayload, NodeCtx, NodeId, ReceivedBeacon, SyncProtocol};
 use rand::Rng;
 use sstsp_crypto::BeaconAuth;
 

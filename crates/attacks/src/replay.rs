@@ -10,9 +10,7 @@
 //! check rejects beacons whose interval index does not match the receiver's
 //! current interval, and the guard time rejects the stale timestamp.
 
-use protocols::api::{
-    BeaconIntent, BeaconPayload, NodeCtx, ReceivedBeacon, SyncProtocol,
-};
+use protocols::api::{BeaconIntent, BeaconPayload, NodeCtx, ReceivedBeacon, SyncProtocol};
 use std::collections::VecDeque;
 
 /// A station that records and replays beacons.
@@ -75,7 +73,9 @@ impl SyncProtocol for ReplayAttacker {
 
     fn make_beacon(&mut self, _ctx: &mut NodeCtx<'_>) -> BeaconPayload {
         self.replays_sent += 1;
-        self.armed.take().expect("armed payload present when transmitting")
+        self.armed
+            .take()
+            .expect("armed payload present when transmitting")
     }
 
     fn on_tx_outcome(&mut self, _ctx: &mut NodeCtx<'_>, _collided: bool) {}

@@ -6,7 +6,10 @@ use sstsp::experiments::{ablation, Fidelity};
 use sstsp_bench::{regen_fidelity, sim_criterion, REGEN_SEED};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", ablation::guard_sweep(regen_fidelity(), REGEN_SEED).render());
+    println!(
+        "{}",
+        ablation::guard_sweep(regen_fidelity(), REGEN_SEED).render()
+    );
     c.bench_function("ablation/guard_sweep_quick_kernel", |b| {
         b.iter(|| ablation::guard_sweep(Fidelity::Quick, std::hint::black_box(1)))
     });

@@ -7,7 +7,10 @@ use sstsp::experiments::{ablation, Fidelity};
 use sstsp_bench::{regen_fidelity, sim_criterion, REGEN_SEED};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", ablation::ref_change(regen_fidelity(), REGEN_SEED).render());
+    println!(
+        "{}",
+        ablation::ref_change(regen_fidelity(), REGEN_SEED).render()
+    );
     c.bench_function("ablation/ref_change_quick_kernel", |b| {
         b.iter(|| ablation::ref_change(Fidelity::Quick, std::hint::black_box(1)))
     });

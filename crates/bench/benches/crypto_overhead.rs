@@ -57,22 +57,28 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    // µTESLA: one signed beacon, then verification in the two receiver
-    // regimes the protocol actually exercises.
+    // µTESLA: signed beacons, then verification in the two receiver
+    // regimes the protocol actually exercises. The fractal-backed signer
+    // consumes intervals in ascending order, so sign the fixtures
+    // low-to-high before benchmarking the steady-state signing cost.
     let sched = IntervalSchedule::new(0.0, 100_000.0, 10_000);
-    let signer = MuTeslaSigner::new([3u8; 16], sched);
+    let mut signer = MuTeslaSigner::new([3u8; 16], sched);
     let payload = [0x11u8; 32];
+    let a1 = signer.sign(&payload, 1);
+    let a2 = signer.sign(&payload, 2);
+    let a200 = signer.sign(&payload, 200);
 
     g.bench_function("mutesla/sign_interval_5000", |b| {
+        // Steady state: after the first advance to interval 5000, repeat
+        // signatures for the current interval come from the recent window.
         b.iter(|| signer.sign(std::hint::black_box(&payload), 5_000))
     });
 
     g.bench_function("mutesla/verify_cold_interval_200", |b| {
         // Cold verifier: the disclosed key walks j-1 hashes to the anchor.
-        let auth = signer.sign(&payload, 200);
         b.iter(|| {
             let mut v = MuTeslaVerifier::new(signer.anchor(), sched);
-            v.observe(&payload, &auth, sched.expected_emission_us(200))
+            v.observe(&payload, &a200, sched.expected_emission_us(200))
                 .unwrap()
         })
     });
@@ -80,12 +86,12 @@ fn bench(c: &mut Criterion) {
     g.bench_function("mutesla/verify_warm_consecutive", |b| {
         // Warm verifier: cached key one step away — the steady-state cost
         // every SSTSP receiver pays per beacon.
-        let a1 = signer.sign(&payload, 1);
-        let a2 = signer.sign(&payload, 2);
         b.iter(|| {
             let mut v = MuTeslaVerifier::new(signer.anchor(), sched);
-            v.observe(&payload, &a1, sched.expected_emission_us(1)).unwrap();
-            v.observe(&payload, &a2, sched.expected_emission_us(2)).unwrap()
+            v.observe(&payload, &a1, sched.expected_emission_us(1))
+                .unwrap();
+            v.observe(&payload, &a2, sched.expected_emission_us(2))
+                .unwrap()
         })
     });
 

@@ -11,7 +11,11 @@ fn regenerate() {
     println!("{}", fig.render());
     println!(
         "shape vs paper (TSF fails, worse with N): {}\n",
-        if fig.shape_holds() { "HOLDS" } else { "DEVIATES" }
+        if fig.shape_holds() {
+            "HOLDS"
+        } else {
+            "DEVIATES"
+        }
     );
 }
 

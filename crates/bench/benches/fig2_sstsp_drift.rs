@@ -12,7 +12,11 @@ fn regenerate() {
     println!("{}", fig.render());
     println!(
         "shape vs paper (< 10 µs after stabilization, survives ref changes): {}\n",
-        if fig.shape_holds() { "HOLDS" } else { "DEVIATES" }
+        if fig.shape_holds() {
+            "HOLDS"
+        } else {
+            "DEVIATES"
+        }
     );
 }
 

@@ -11,7 +11,11 @@ fn regenerate() {
     println!("{}", fig.render());
     println!(
         "shape vs paper (attack desynchronizes TSF by orders of magnitude): {}\n",
-        if fig.shape_holds() { "HOLDS" } else { "DEVIATES" }
+        if fig.shape_holds() {
+            "HOLDS"
+        } else {
+            "DEVIATES"
+        }
     );
 }
 

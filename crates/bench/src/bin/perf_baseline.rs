@@ -1,0 +1,235 @@
+//! Reproducible performance baseline for the simulation hot paths.
+//!
+//! Measures three throughput numbers and records them in
+//! `BENCH_engine.json` at the repository root:
+//!
+//! * **BPs/sec** — simulated beacon periods per wall-clock second on the
+//!   100-node SSTSP scenario (the engine hot loop + µTESLA verification).
+//! * **runs/sec** — complete runs per second across a `run_seeds` sweep
+//!   (the figure-regeneration workload).
+//! * **hashes/sec** — `chain_step` applications per second (the µTESLA
+//!   primitive every signer/verifier bottoms out in).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p sstsp-bench --bin perf_baseline -- --label after
+//! ```
+//!
+//! `--label before|after` selects which block of `BENCH_engine.json` to
+//! write; the other block is preserved so the file always carries the
+//! before/after pair for the current optimization cycle, plus derived
+//! speedups when both are present. `--out <path>` overrides the output
+//! location. All workloads are fixed-seed, so any change in the numbers
+//! is a change in the code, not in the work.
+
+use sstsp::sweep::run_seeds;
+use sstsp::{Network, ProtocolKind, ScenarioConfig};
+use sstsp_crypto::chain::chain_step;
+use std::time::Instant;
+
+/// Engine workload: the acceptance scenario from the perf issue.
+const ENGINE_NODES: u32 = 100;
+const ENGINE_DURATION_S: f64 = 20.0;
+const ENGINE_SEED: u64 = 2006;
+/// Sweep workload.
+const SWEEP_NODES: u32 = 25;
+const SWEEP_DURATION_S: f64 = 10.0;
+const SWEEP_SEEDS: [u64; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+/// Minimum wall time per measurement, seconds.
+const MIN_MEASURE_S: f64 = 3.0;
+
+struct Measurement {
+    bps_per_sec: f64,
+    runs_per_sec: f64,
+    hashes_per_sec: f64,
+}
+
+fn measure_engine() -> f64 {
+    let cfg = ScenarioConfig::new(
+        ProtocolKind::Sstsp,
+        ENGINE_NODES,
+        ENGINE_DURATION_S,
+        ENGINE_SEED,
+    );
+    let bps_per_run = cfg.total_bps();
+    // Warm-up run.
+    std::hint::black_box(Network::build(&cfg).run());
+    let t0 = Instant::now();
+    let mut runs = 0u64;
+    while t0.elapsed().as_secs_f64() < MIN_MEASURE_S {
+        std::hint::black_box(Network::build(&cfg).run());
+        runs += 1;
+    }
+    (runs * bps_per_run) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn measure_sweep() -> f64 {
+    let base = ScenarioConfig::new(ProtocolKind::Sstsp, SWEEP_NODES, SWEEP_DURATION_S, 0);
+    std::hint::black_box(run_seeds(&base, &SWEEP_SEEDS));
+    let t0 = Instant::now();
+    let mut runs = 0u64;
+    while t0.elapsed().as_secs_f64() < MIN_MEASURE_S {
+        std::hint::black_box(run_seeds(&base, &SWEEP_SEEDS));
+        runs += SWEEP_SEEDS.len() as u64;
+    }
+    runs as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn measure_hashes() -> f64 {
+    let mut x = [0x5Au8; 16];
+    // Warm-up.
+    for _ in 0..100_000 {
+        x = chain_step(&x);
+    }
+    let t0 = Instant::now();
+    let mut hashes = 0u64;
+    while t0.elapsed().as_secs_f64() < MIN_MEASURE_S / 2.0 {
+        for _ in 0..500_000 {
+            x = chain_step(&x);
+        }
+        hashes += 500_000;
+    }
+    std::hint::black_box(x);
+    hashes as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn format_block(m: &Measurement) -> String {
+    format!(
+        "{{\n    \"bps_per_sec\": {:.1},\n    \"runs_per_sec\": {:.2},\n    \"hashes_per_sec\": {:.0}\n  }}",
+        m.bps_per_sec, m.runs_per_sec, m.hashes_per_sec
+    )
+}
+
+/// Extract the JSON object following `"<label>":` by brace matching.
+fn extract_block(json: &str, label: &str) -> Option<String> {
+    let key = format!("\"{label}\":");
+    let start = json.find(&key)? + key.len();
+    let rest = &json[start..];
+    let open = rest.find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in rest[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[open..open + i + 1].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Pull a numeric field out of a JSON block written by [`format_block`].
+fn extract_number(block: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let start = block.find(&key)? + key.len();
+    let rest = block[start..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut label = "after".to_string();
+    let mut out = format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR"));
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--label" => {
+                label = args.get(i + 1).expect("--label needs a value").clone();
+                i += 2;
+            }
+            "--out" => {
+                out = args.get(i + 1).expect("--out needs a value").clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf_baseline [--label before|after] [--out path]");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(
+        label == "before" || label == "after",
+        "--label must be 'before' or 'after'"
+    );
+
+    eprintln!(
+        "measuring engine ({} nodes, {} s, seed {}) ...",
+        ENGINE_NODES, ENGINE_DURATION_S, ENGINE_SEED
+    );
+    let bps_per_sec = measure_engine();
+    eprintln!("  {bps_per_sec:.1} BPs/sec");
+    eprintln!(
+        "measuring sweep ({} nodes, {} s, {} seeds) ...",
+        SWEEP_NODES,
+        SWEEP_DURATION_S,
+        SWEEP_SEEDS.len()
+    );
+    let runs_per_sec = measure_sweep();
+    eprintln!("  {runs_per_sec:.2} runs/sec");
+    eprintln!("measuring chain_step throughput ...");
+    let hashes_per_sec = measure_hashes();
+    eprintln!("  {hashes_per_sec:.0} hashes/sec");
+
+    let m = Measurement {
+        bps_per_sec,
+        runs_per_sec,
+        hashes_per_sec,
+    };
+
+    let existing = std::fs::read_to_string(&out).unwrap_or_default();
+    let other_label = if label == "before" { "after" } else { "before" };
+    let this_block = format_block(&m);
+    let other_block = extract_block(&existing, other_label);
+
+    let mut body = String::from("{\n");
+    body.push_str("  \"schema\": \"sstsp-perf-baseline/v1\",\n");
+    body.push_str(&format!(
+        "  \"workloads\": {{\n    \"engine\": \"SSTSP n={ENGINE_NODES} duration_s={ENGINE_DURATION_S} seed={ENGINE_SEED}\",\n    \"sweep\": \"SSTSP n={SWEEP_NODES} duration_s={SWEEP_DURATION_S} seeds=1..={}\",\n    \"hash\": \"chain_step (SHA-256 truncated to 128 bits)\"\n  }},\n",
+        SWEEP_SEEDS.len()
+    ));
+    // Keep blocks in before/after order regardless of write order.
+    let (before_block, after_block) = if label == "before" {
+        (Some(this_block.clone()), other_block.clone())
+    } else {
+        (other_block.clone(), Some(this_block.clone()))
+    };
+    if let Some(b) = &before_block {
+        body.push_str(&format!("  \"before\": {b},\n"));
+    }
+    if let Some(a) = &after_block {
+        body.push_str(&format!("  \"after\": {a},\n"));
+    }
+    if let (Some(b), Some(a)) = (&before_block, &after_block) {
+        let speedup = |field: &str| -> Option<f64> {
+            Some(extract_number(a, field)? / extract_number(b, field)?)
+        };
+        if let (Some(sb), Some(sr), Some(sh)) = (
+            speedup("bps_per_sec"),
+            speedup("runs_per_sec"),
+            speedup("hashes_per_sec"),
+        ) {
+            body.push_str(&format!(
+                "  \"speedup\": {{\n    \"bps\": {sb:.3},\n    \"runs\": {sr:.3},\n    \"hashes\": {sh:.3}\n  }},\n"
+            ));
+        }
+    }
+    // Trim the trailing comma and close.
+    if body.ends_with(",\n") {
+        body.truncate(body.len() - 2);
+        body.push('\n');
+    }
+    body.push_str("}\n");
+
+    std::fs::write(&out, &body).expect("write BENCH_engine.json");
+    eprintln!("wrote {out} ({label} block)");
+    println!("{body}");
+}

@@ -20,10 +20,10 @@
 //! slowly but tolerates reference changes better (Lemma 2 shows the optimal
 //! `m` is `l + 3`).
 //!
-//! [`AdjustedClock::retarget`] solves the system directly (continuity point
-//! + predicted target point determine the line); the test module
-//! cross-checks it against the paper's closed-form expressions for `kʲ` and
-//! `bʲ`.
+//! [`AdjustedClock::retarget`] solves the system directly (the continuity
+//! point plus the predicted target point determine the line); the test
+//! module cross-checks it against the paper's closed-form expressions for
+//! `kʲ` and `bʲ`.
 
 use serde::{Deserialize, Serialize};
 
@@ -91,7 +91,10 @@ impl AdjustedClock {
     /// Construct with explicit parameters (used by the coarse phase, which
     /// steps the offset once before fine-grained synchronization begins).
     pub fn with_params(k: f64, b: f64) -> Self {
-        assert!(k > 0.0 && k.is_finite(), "adjusted clock rate must be positive");
+        assert!(
+            k > 0.0 && k.is_finite(),
+            "adjusted clock rate must be positive"
+        );
         AdjustedClock {
             k,
             b,

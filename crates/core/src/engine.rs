@@ -24,7 +24,7 @@ use attacks::{AttackWindow, FastBeaconAttacker};
 use clocks::Oscillator;
 use mac80211::ContentionWindow;
 use protocols::api::{
-    AnchorRegistry, BeaconIntent, NodeCtx, NodeId, ProtocolConfig, ReceivedBeacon,
+    AnchorRegistry, BeaconIntent, BeaconPayload, NodeCtx, NodeId, ProtocolConfig, ReceivedBeacon,
     SyncProtocol,
 };
 use protocols::{AspNode, AtspNode, RkNode, SatsfNode, SstspNode, TatspNode, TsfNode};
@@ -82,6 +82,35 @@ pub struct RunResult {
     pub seed: u64,
 }
 
+/// Reusable per-BP scratch buffers, hoisted out of the hot loop so a
+/// steady-state beacon period performs no heap allocation. Dense vectors
+/// indexed by station id stand in for NodeId-keyed hash maps; they are
+/// cleared (not reallocated) at the start of each window.
+struct Scratch {
+    /// Single-hop transmission attempts for the current window.
+    tx_attempts: Vec<TxAttempt>,
+    /// Multi-hop transmission attempts for the current window.
+    mh_attempts: Vec<MhAttempt>,
+    /// Beacon produced by each transmitting station this window.
+    payloads: Vec<Option<BeaconPayload>>,
+    /// Whether each transmitter reached at least one receiver this window.
+    reached: Vec<bool>,
+    /// Clocks of honest synchronized present stations, sampled at BP end.
+    clocks: Vec<f64>,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Scratch {
+            tx_attempts: Vec::with_capacity(n),
+            mh_attempts: Vec::with_capacity(n),
+            payloads: vec![None; n],
+            reached: vec![false; n],
+            clocks: Vec::with_capacity(n),
+        }
+    }
+}
+
 /// A simulated IBSS ready to run.
 pub struct Network {
     scenario: ScenarioConfig,
@@ -99,6 +128,7 @@ pub struct Network {
     scenario_rng: ChaCha12Rng,
     anchors: AnchorRegistry,
     topology: Option<Topology>,
+    scratch: Scratch,
 }
 
 /// Context builder that splits borrows of the engine's parallel arrays.
@@ -207,6 +237,7 @@ impl Network {
             scenario_rng: streams.stream(StreamDomain::Scenario, 0),
             anchors: AnchorRegistry::new(),
             topology,
+            scratch: Scratch::new(n),
             scenario: sc,
         }
     }
@@ -276,6 +307,7 @@ impl Network {
             mut scenario_rng,
             mut anchors,
             topology,
+            mut scratch,
             ..
         } = self;
 
@@ -355,7 +387,8 @@ impl Network {
                 None => {
                     // Single-hop fast path: the whole window is decided by
                     // the earliest occupied slot.
-                    let mut attempts: Vec<TxAttempt> = Vec::new();
+                    let attempts = &mut scratch.tx_attempts;
+                    attempts.clear();
                     for id in 0..scenario.n_nodes {
                         if !present[id as usize] {
                             continue;
@@ -377,14 +410,13 @@ impl Network {
                         }
                     }
 
-                    match channel.resolve_window(&attempts) {
+                    match channel.resolve_window(attempts) {
                         WindowOutcome::Silent => silent_windows += 1,
                         WindowOutcome::Jammed { victims } => {
                             jammed_windows += 1;
                             for id in victims {
                                 let local = oscs[id as usize].local_us(t0);
-                                let mut ctx =
-                                    node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
+                                let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
                                 nodes[id as usize].on_tx_outcome(&mut ctx, true);
                             }
                         }
@@ -392,8 +424,7 @@ impl Network {
                             tx_collisions += 1;
                             for id in colliders {
                                 let local = oscs[id as usize].local_us(t0);
-                                let mut ctx =
-                                    node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
+                                let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
                                 nodes[id as usize].on_tx_outcome(&mut ctx, true);
                             }
                         }
@@ -447,7 +478,8 @@ impl Network {
                 Some(topo) => {
                     // Multi-hop path: local carrier sense, hidden
                     // terminals, spatial reuse, and in-window relaying.
-                    let mut attempts: Vec<MhAttempt> = Vec::new();
+                    let attempts = &mut scratch.mh_attempts;
+                    attempts.clear();
                     for id in 0..scenario.n_nodes {
                         if !present[id as usize] {
                             continue;
@@ -479,16 +511,11 @@ impl Network {
 
                     if channel.is_jammed() {
                         jammed_windows += 1;
-                        for a in &attempts {
+                        for a in attempts.iter() {
                             if !a.relay {
                                 let local = oscs[a.station as usize].local_us(t0);
-                                let mut ctx = node_ctx!(
-                                    proto_rngs,
-                                    &mut anchors,
-                                    &pcfg,
-                                    a.station,
-                                    local
-                                );
+                                let mut ctx =
+                                    node_ctx!(proto_rngs, &mut anchors, &pcfg, a.station, local);
                                 nodes[a.station as usize].on_tx_outcome(&mut ctx, true);
                             }
                         }
@@ -496,11 +523,11 @@ impl Network {
                         silent_windows += 1;
                     } else {
                         let airtime_slots = pcfg.beacon_airtime_slots;
-                        let out = resolve_multihop(topo, &attempts, airtime_slots);
+                        let out = resolve_multihop(topo, attempts, airtime_slots);
 
                         // Beacons are produced at each transmitter's start
                         // slot; deliveries happen one airtime later.
-                        let mut payloads = std::collections::HashMap::new();
+                        scratch.payloads.fill(None);
                         for &(station, slot) in &out.transmissions {
                             let t_tx = t0 + window.delay_of(slot);
                             let jitter =
@@ -508,17 +535,17 @@ impl Network {
                             let tx_local = oscs[station as usize].local_us(t_tx) + jitter;
                             let mut ctx =
                                 node_ctx!(proto_rngs, &mut anchors, &pcfg, station, tx_local);
-                            payloads.insert(station, nodes[station as usize].make_beacon(&mut ctx));
+                            scratch.payloads[station as usize] =
+                                Some(nodes[station as usize].make_beacon(&mut ctx));
                         }
                         // Transmit feedback: a transmission that reached at
                         // least one receiver counts as clean.
-                        let mut reached: std::collections::HashSet<u32> =
-                            std::collections::HashSet::new();
+                        scratch.reached.fill(false);
                         for d in &out.deliveries {
-                            reached.insert(d.tx);
+                            scratch.reached[d.tx as usize] = true;
                         }
                         for &(station, _) in &out.transmissions {
-                            let ok = reached.contains(&station);
+                            let ok = scratch.reached[station as usize];
                             if ok {
                                 tx_successes += 1;
                             } else {
@@ -539,7 +566,8 @@ impl Network {
                             if channel.deliver(&mut chan_rng) == Delivery::Lost {
                                 continue;
                             }
-                            let payload = payloads[&d.tx];
+                            let payload = scratch.payloads[d.tx as usize]
+                                .expect("every delivery has a transmitter");
                             let t_rx = t0
                                 + window.delay_of(d.slot)
                                 + phy.beacon_airtime(payload.is_secured())
@@ -573,11 +601,15 @@ impl Network {
             }
 
             // --- Metrics ----------------------------------------------
-            let clocks: Vec<f64> = (0..scenario.n_nodes as usize)
-                .filter(|&i| present[i] && honest[i] && nodes[i].is_synchronized())
-                .map(|i| nodes[i].clock_us(oscs[i].local_us(t_end)))
-                .collect();
-            tracker.sample(t_end, &clocks);
+            scratch.clocks.clear();
+            for i in 0..scenario.n_nodes as usize {
+                if present[i] && honest[i] && nodes[i].is_synchronized() {
+                    scratch
+                        .clocks
+                        .push(nodes[i].clock_us(oscs[i].local_us(t_end)));
+                }
+            }
+            tracker.sample(t_end, &scratch.clocks);
 
             let current_ref = (0..scenario.n_nodes)
                 .find(|&id| present[id as usize] && nodes[id as usize].is_reference());
@@ -595,13 +627,12 @@ impl Network {
                 // the honest stations follow its beacons.
                 let followers = (0..scenario.n_nodes as usize)
                     .filter(|&i| {
-                        present[i]
-                            && honest[i]
-                            && nodes[i].current_reference() == Some(atk)
+                        present[i] && honest[i] && nodes[i].current_reference() == Some(atk)
                     })
                     .count();
-                let honest_present =
-                    (0..scenario.n_nodes as usize).filter(|&i| present[i] && honest[i]).count();
+                let honest_present = (0..scenario.n_nodes as usize)
+                    .filter(|&i| present[i] && honest[i])
+                    .count();
                 if honest_present > 0 && followers * 2 > honest_present {
                     attacker_became_reference = true;
                 }
@@ -658,10 +689,7 @@ impl Network {
                 Some(
                     (0..scenario.n_nodes as usize)
                         .filter(|&i| {
-                            present[i]
-                                && honest[i]
-                                && nodes[i].is_synchronized()
-                                && i as u32 != r
+                            present[i] && honest[i] && nodes[i].is_synchronized() && i as u32 != r
                         })
                         .map(|i| {
                             let c = nodes[i].clock_us(oscs[i].local_us(t_end));

@@ -47,10 +47,9 @@ pub fn ref_change(fid: Fidelity, seed: u64) -> RefChangeAblation {
     let mut configs = Vec::new();
     for &l in &ls {
         for &m in &ms {
-            let mut cfg =
-                ScenarioConfig::new(ProtocolKind::Sstsp, fid.n(200), duration, seed)
-                    .with_m(m)
-                    .with_l(l);
+            let mut cfg = ScenarioConfig::new(ProtocolKind::Sstsp, fid.n(200), duration, seed)
+                .with_m(m)
+                .with_l(l);
             cfg.ref_leaves_s = vec![leave_s];
             configs.push(cfg);
         }
@@ -116,8 +115,7 @@ impl RefChangeAblation {
                     r.l.to_string(),
                     format!("{:.1}", r.pre_spike_us),
                     format!("{:.1}", r.post_spike_us),
-                    r.recovery_s
-                        .map_or("-".into(), |s| format!("{s:.1}s")),
+                    r.recovery_s.map_or("-".into(), |s| format!("{s:.1}s")),
                 ]
             })
             .collect();

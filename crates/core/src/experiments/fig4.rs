@@ -75,7 +75,9 @@ impl Fig4 {
         out.push_str(&format!(
             "  peak before attack {:.1} µs   peak during attack {:.1} µs   \
              attacker became reference: {}\n",
-            self.peak_before_attack_us, self.peak_during_attack_us, self.run.attacker_became_reference
+            self.peak_before_attack_us,
+            self.peak_during_attack_us,
+            self.run.attacker_became_reference
         ));
         out
     }

@@ -86,14 +86,16 @@ pub fn run(fid: Fidelity, seed: u64) -> Multihop {
     // Multi-hop runs tolerate more beacon loss (l = 3): relay
     // participation is probabilistic, so occasional upstream silence is
     // normal rather than a sign the reference left.
-    let mut line_cfg =
-        ScenarioConfig::new(ProtocolKind::Sstsp, 12, duration, seed).with_l(3).with_m(6);
+    let mut line_cfg = ScenarioConfig::new(ProtocolKind::Sstsp, 12, duration, seed)
+        .with_l(3)
+        .with_m(6);
     line_cfg.topology = Some(TopologySpec::Line);
     let line = Network::build(&line_cfg).run();
 
     // A 5×5 grid: diameter 8 with route diversity.
-    let mut grid_cfg =
-        ScenarioConfig::new(ProtocolKind::Sstsp, 25, duration, seed).with_l(3).with_m(6);
+    let mut grid_cfg = ScenarioConfig::new(ProtocolKind::Sstsp, 25, duration, seed)
+        .with_l(3)
+        .with_m(6);
     grid_cfg.topology = Some(TopologySpec::Grid { cols: 5, rows: 5 });
     let grid = Network::build(&grid_cfg).run();
 
@@ -110,9 +112,8 @@ pub fn run(fid: Fidelity, seed: u64) -> Multihop {
 impl Multihop {
     /// Render the experiment report.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Extension — SSTSP over multi-hop topologies (paper future work)\n\n",
-        );
+        let mut out =
+            String::from("Extension — SSTSP over multi-hop topologies (paper future work)\n\n");
         out.push_str(&format!(
             "line (12 stations, diameter 11): steady spread {:.1} µs\n",
             self.steady_us.0
@@ -166,11 +167,7 @@ mod tests {
     #[test]
     fn quick_multihop_synchronizes_and_bounds_hops() {
         let m = run(Fidelity::Quick, 11);
-        assert!(
-            m.shape_holds(),
-            "multi-hop shape failed:\n{}",
-            m.render()
-        );
+        assert!(m.shape_holds(), "multi-hop shape failed:\n{}", m.render());
         // The line run must actually use relays: far stations can only be
         // reached through them.
         assert!(m.line.tx_successes > 0);

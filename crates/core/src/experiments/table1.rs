@@ -35,13 +35,7 @@ pub fn run(fid: Fidelity, seed: u64) -> Table1 {
         .map(|m| {
             // Clean-room setup: no churn, no departures, no attacker — the
             // table isolates the convergence behaviour.
-            ScenarioConfig::new(
-                ProtocolKind::Sstsp,
-                fid.n(500),
-                fid.secs(400.0),
-                seed,
-            )
-            .with_m(m)
+            ScenarioConfig::new(ProtocolKind::Sstsp, fid.n(500), fid.secs(400.0), seed).with_m(m)
         })
         .collect();
     let results = run_configs(&configs);
@@ -73,15 +67,17 @@ impl Table1 {
             .map(|r| {
                 vec![
                     r.m.to_string(),
-                    r.latency_s
-                        .map_or("never".into(), |l| format!("{l:.1}s")),
+                    r.latency_s.map_or("never".into(), |l| format!("{l:.1}s")),
                     r.error_us.map_or("-".into(), |e| format!("{e:.0}µs")),
                 ]
             })
             .collect();
         format!(
             "Table 1 — Maximum clock difference & synchronization latency vs m\n{}",
-            render_table(&["m", "Synchronization latency", "Synchronization error"], &rows)
+            render_table(
+                &["m", "Synchronization latency", "Synchronization error"],
+                &rows
+            )
         )
     }
 
@@ -111,12 +107,13 @@ mod tests {
         let t = run(Fidelity::Quick, 42);
         assert_eq!(t.rows.len(), 5);
         for r in &t.rows {
+            assert!(r.latency_s.is_some(), "m={} never synchronized", r.m);
             assert!(
-                r.latency_s.is_some(),
-                "m={} never synchronized",
-                r.m
+                r.error_us.unwrap() <= 25.0,
+                "m={} error {:?}",
+                r.m,
+                r.error_us
             );
-            assert!(r.error_us.unwrap() <= 25.0, "m={} error {:?}", r.m, r.error_us);
         }
         let text = t.render();
         assert!(text.contains("Table 1"));

@@ -1,0 +1,141 @@
+//! Golden determinism: fixed-seed runs must reproduce recorded summary
+//! values bit-for-bit, for every protocol.
+//!
+//! These constants pin the observable behavior of the engine hot loop, the
+//! RNG streams, and the µTESLA crypto path. Any refactor that claims to be
+//! behavior-preserving (allocation hoisting, verifier caching, event-queue
+//! internals) must leave them untouched; a legitimate behavior change must
+//! update them *and* say why in the commit.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! cargo test --release -p sstsp --test golden_determinism -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed table over `GOLDENS`.
+
+use sstsp::{Network, ProtocolKind, ScenarioConfig};
+
+const N_NODES: u32 = 8;
+const DURATION_S: f64 = 12.0;
+const SEED: u64 = 7;
+
+/// Recorded summary per protocol: (kind, peak_spread_us, sync_latency_s,
+/// steady_error_us, tx_successes, tx_collisions, silent_windows,
+/// reference_changes, guard_rejections, mutesla_rejections, retargets,
+/// final_reference).
+type Golden = (
+    ProtocolKind,
+    f64,
+    Option<f64>,
+    Option<f64>,
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+    Option<u32>,
+);
+
+#[rustfmt::skip]
+const GOLDENS: [Golden; 7] = [
+    (ProtocolKind::Tsf, 112.6717169759795, Some(4.599999), Some(112.6717169759795), 103, 17, 0, 0, 0, 0, 0, None),
+    (ProtocolKind::Atsp, 86.78270896099275, Some(0.399999), Some(34.74031974747777), 118, 2, 0, 0, 0, 0, 0, None),
+    (ProtocolKind::Tatsp, 86.78270896099275, Some(0.399999), Some(28.897104548290372), 120, 0, 0, 0, 0, 0, 0, None),
+    (ProtocolKind::Satsf, 196.97894508985337, Some(1.099999), Some(33.959499281831086), 113, 0, 7, 0, 0, 0, 0, None),
+    (ProtocolKind::Asp, 187.35545515301055, Some(3.299999), Some(13.8130898270756), 105, 13, 2, 0, 0, 0, 0, None),
+    (ProtocolKind::Rk, 171.21649383939803, Some(1.899999), Some(171.21649383939803), 61, 1, 58, 0, 0, 0, 0, None),
+    (ProtocolKind::Sstsp, 218.49740660958923, Some(1.299999), Some(21.849832239560783), 118, 0, 2, 1, 0, 0, 812, Some(5)),
+];
+
+fn run(kind: ProtocolKind) -> sstsp::RunResult {
+    let cfg = ScenarioConfig::new(kind, N_NODES, DURATION_S, SEED);
+    Network::build(&cfg).run()
+}
+
+#[test]
+fn fixed_seed_runs_match_recorded_goldens() {
+    for &(
+        kind,
+        peak,
+        latency,
+        steady,
+        successes,
+        collisions,
+        silent,
+        ref_changes,
+        guard,
+        mutesla,
+        retargets,
+        final_ref,
+    ) in &GOLDENS
+    {
+        let r = run(kind);
+        let name = kind.name();
+        assert_eq!(r.peak_spread_us, peak, "{name}: peak_spread_us");
+        assert_eq!(r.sync_latency_s, latency, "{name}: sync_latency_s");
+        assert_eq!(r.steady_error_us, steady, "{name}: steady_error_us");
+        assert_eq!(r.tx_successes, successes, "{name}: tx_successes");
+        assert_eq!(r.tx_collisions, collisions, "{name}: tx_collisions");
+        assert_eq!(r.silent_windows, silent, "{name}: silent_windows");
+        assert_eq!(
+            r.reference_changes, ref_changes,
+            "{name}: reference_changes"
+        );
+        assert_eq!(r.guard_rejections, guard, "{name}: guard_rejections");
+        assert_eq!(r.mutesla_rejections, mutesla, "{name}: mutesla_rejections");
+        assert_eq!(r.retargets, retargets, "{name}: retargets");
+        assert_eq!(r.final_reference, final_ref, "{name}: final_reference");
+    }
+}
+
+/// Re-running the exact same scenario twice in-process must agree on the
+/// full spread series, not only the summary (catches state leaking across
+/// runs through reused buffers).
+#[test]
+fn back_to_back_runs_are_bit_identical() {
+    for kind in [ProtocolKind::Tsf, ProtocolKind::Sstsp] {
+        let a = run(kind);
+        let b = run(kind);
+        assert_eq!(
+            a.spread.values(),
+            b.spread.values(),
+            "{}: spread series",
+            kind.name()
+        );
+    }
+}
+
+/// Generator: prints the current values in `GOLDENS` layout.
+#[test]
+#[ignore = "generator — run with --ignored --nocapture to refresh GOLDENS"]
+fn print_goldens() {
+    for kind in [
+        ProtocolKind::Tsf,
+        ProtocolKind::Atsp,
+        ProtocolKind::Tatsp,
+        ProtocolKind::Satsf,
+        ProtocolKind::Asp,
+        ProtocolKind::Rk,
+        ProtocolKind::Sstsp,
+    ] {
+        let r = run(kind);
+        println!(
+            "    (ProtocolKind::{kind:?}, {:?}, {:?}, {:?}, {}, {}, {}, {}, {}, {}, {}, {:?}),",
+            r.peak_spread_us,
+            r.sync_latency_s,
+            r.steady_error_us,
+            r.tx_successes,
+            r.tx_collisions,
+            r.silent_windows,
+            r.reference_changes,
+            r.guard_rejections,
+            r.mutesla_rejections,
+            r.retargets,
+            r.final_reference,
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Sweep results must not depend on the rayon pool size.
+//!
+//! `run_seeds` / `run_configs` parallelize over *runs*; each run is a pure
+//! function of its config and seed, and results are collected in input
+//! order. So the output must be bit-identical whether the pool has one
+//! thread or many. This test runs the sweeps on the default pool, then
+//! re-executes itself as a child process with `RAYON_NUM_THREADS=1` and
+//! compares bit-exact fingerprints of every run's spread series and
+//! counters.
+
+use sstsp::sweep::{run_configs, run_seeds};
+use sstsp::{ProtocolKind, ScenarioConfig};
+
+/// Env marker distinguishing the single-threaded child invocation.
+const CHILD_VAR: &str = "SSTSP_THREAD_DETERMINISM_CHILD";
+const FP_BEGIN: &str = "FP-BEGIN\n";
+const FP_END: &str = "FP-END";
+
+/// A bit-exact fingerprint (f64 bit patterns, not rounded prints) of a
+/// seed sweep and a config sweep.
+fn fingerprint() -> String {
+    let base = ScenarioConfig::new(ProtocolKind::Sstsp, 6, 6.0, 0);
+    let by_seed = run_seeds(&base, &[11, 12, 13, 14]);
+    let configs: Vec<ScenarioConfig> = [ProtocolKind::Tsf, ProtocolKind::Sstsp, ProtocolKind::Asp]
+        .iter()
+        .map(|&k| ScenarioConfig::new(k, 5, 5.0, 3))
+        .collect();
+    let by_config = run_configs(&configs);
+
+    let mut s = String::new();
+    for r in by_seed.iter().chain(&by_config) {
+        s.push_str(&format!(
+            "{}/{}/{} peak={:016x} tx={} coll={} silent={} refchg={}\n",
+            r.protocol,
+            r.n_nodes,
+            r.seed,
+            r.peak_spread_us.to_bits(),
+            r.tx_successes,
+            r.tx_collisions,
+            r.silent_windows,
+            r.reference_changes,
+        ));
+        for v in r.spread.values() {
+            s.push_str(&format!("{:016x},", v.to_bits()));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[test]
+fn sweeps_identical_across_rayon_pool_sizes() {
+    if std::env::var_os(CHILD_VAR).is_some() {
+        // Child mode (RAYON_NUM_THREADS=1): emit the fingerprint and stop.
+        println!("{}{}{}", FP_BEGIN, fingerprint(), FP_END);
+        return;
+    }
+
+    let parent = fingerprint(); // default pool
+
+    let exe = std::env::current_exe().expect("test executable path");
+    let out = std::process::Command::new(exe)
+        .args([
+            "--exact",
+            "sweeps_identical_across_rayon_pool_sizes",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env(CHILD_VAR, "1")
+        .env("RAYON_NUM_THREADS", "1")
+        .output()
+        .expect("spawn single-threaded child");
+    assert!(
+        out.status.success(),
+        "child run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let begin = stdout.find(FP_BEGIN).expect("begin marker") + FP_BEGIN.len();
+    let end = stdout.find(FP_END).expect("end marker");
+    assert_eq!(
+        &stdout[begin..end],
+        parent,
+        "sweep results diverge between RAYON_NUM_THREADS=1 and the default pool"
+    );
+}

@@ -195,7 +195,11 @@ mod tests {
             let chain = HashChain::generate(seed(1), n);
             let mut t = FractalTraverser::new(seed(1), n);
             for pos in (0..n).rev() {
-                assert_eq!(t.next_element().unwrap(), chain.element(pos), "n={n} pos={pos}");
+                assert_eq!(
+                    t.next_element().unwrap(),
+                    chain.element(pos),
+                    "n={n} pos={pos}"
+                );
             }
             assert!(t.next_element().is_none());
         }

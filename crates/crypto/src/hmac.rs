@@ -6,7 +6,7 @@
 //! disclosed key + 4-byte interval index), so [`Mac128`] is the type beacons
 //! actually carry.
 
-use crate::sha256::{Sha256, DIGEST_LEN};
+use crate::sha256::{compress_block, state_bytes, Sha256, DIGEST_LEN, H0};
 
 const BLOCK_LEN: usize = 64;
 
@@ -14,6 +14,11 @@ const BLOCK_LEN: usize = 64;
 pub type Mac128 = [u8; 16];
 
 /// Full-width HMAC-SHA-256.
+///
+/// Beacon-sized messages (≤ 55 bytes, fitting one padded block after the
+/// ipad block) run as exactly four compressions on stack blocks — the
+/// per-beacon steady-state cost every SSTSP receiver pays; longer messages
+/// fall back to the streaming hasher.
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
     let mut key_block = [0u8; BLOCK_LEN];
     if key.len() > BLOCK_LEN {
@@ -30,15 +35,33 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
         opad[i] ^= key_block[i];
     }
 
-    let mut inner = Sha256::new();
-    inner.update(&ipad);
-    inner.update(message);
-    let inner_digest = inner.finalize();
+    let inner_digest = if message.len() <= 55 {
+        let mut state = H0;
+        compress_block(&mut state, &ipad);
+        let mut block = [0u8; BLOCK_LEN];
+        block[..message.len()].copy_from_slice(message);
+        block[message.len()] = 0x80;
+        let bit_len = ((BLOCK_LEN + message.len()) as u64) * 8;
+        block[56..].copy_from_slice(&bit_len.to_be_bytes());
+        compress_block(&mut state, &block);
+        state_bytes(&state)
+    } else {
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        inner.update(message);
+        inner.finalize()
+    };
 
-    let mut outer = Sha256::new();
-    outer.update(&opad);
-    outer.update(&inner_digest);
-    outer.finalize()
+    // Outer hash: always opad block + one block of digest and padding.
+    let mut state = H0;
+    compress_block(&mut state, &opad);
+    let mut block = [0u8; BLOCK_LEN];
+    block[..DIGEST_LEN].copy_from_slice(&inner_digest);
+    block[DIGEST_LEN] = 0x80;
+    let bit_len = ((BLOCK_LEN + DIGEST_LEN) as u64) * 8;
+    block[56..].copy_from_slice(&bit_len.to_be_bytes());
+    compress_block(&mut state, &block);
+    state_bytes(&state)
 }
 
 /// HMAC-SHA-256 truncated to 128 bits, per the beacon format.
@@ -110,7 +133,10 @@ mod tests {
     #[test]
     fn rfc4231_case6_long_key() {
         let key = [0xaau8; 131];
-        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let mac = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             hex(&mac),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
@@ -126,6 +152,32 @@ mod tests {
             hex(&mac),
             "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
         );
+    }
+
+    #[test]
+    fn fast_and_streaming_paths_agree_at_boundary() {
+        // Straddle the 55-byte single-block threshold with a streaming
+        // reference computed inline.
+        let key = [0x42u8; 16];
+        for len in 40..=70usize {
+            let msg: Vec<u8> = (0..len as u8).collect();
+            let mut key_block = [0u8; BLOCK_LEN];
+            key_block[..key.len()].copy_from_slice(&key);
+            let mut ipad = [0x36u8; BLOCK_LEN];
+            let mut opad = [0x5cu8; BLOCK_LEN];
+            for i in 0..BLOCK_LEN {
+                ipad[i] ^= key_block[i];
+                opad[i] ^= key_block[i];
+            }
+            let mut inner = Sha256::new();
+            inner.update(&ipad);
+            inner.update(&msg);
+            let inner_digest = inner.finalize();
+            let mut outer = Sha256::new();
+            outer.update(&opad);
+            outer.update(&inner_digest);
+            assert_eq!(hmac_sha256(&key, &msg), outer.finalize(), "len {len}");
+        }
     }
 
     #[test]

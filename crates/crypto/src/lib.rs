@@ -35,7 +35,7 @@ pub mod hmac;
 pub mod mu_tesla;
 pub mod sha256;
 
-pub use chain::{ChainElement, HashChain, CHAIN_ELEMENT_LEN};
+pub use chain::{verify_distance, ChainElement, HashChain, CHAIN_ELEMENT_LEN};
 pub use fractal::FractalTraverser;
 pub use hmac::{hmac_sha256, Mac128};
 pub use mu_tesla::{

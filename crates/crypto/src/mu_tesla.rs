@@ -19,8 +19,10 @@
 //! SSTSP's coarse synchronization phase provides.
 
 use crate::chain::{chain_step_n, ChainElement, HashChain};
+use crate::fractal::FractalTraverser;
 use crate::hmac::{hmac_sha256_128, mac_eq, Mac128};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Maps (loosely synchronized) local time to beacon-interval indices.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -76,13 +78,23 @@ pub struct BeaconAuth {
     pub disclosed: ChainElement,
 }
 
-/// MAC input: payload followed by the little-endian interval index, per the
-/// paper's `(B, j)`.
-fn mac_message(payload: &[u8], interval: u32) -> Vec<u8> {
-    let mut msg = Vec::with_capacity(payload.len() + 4);
-    msg.extend_from_slice(payload);
-    msg.extend_from_slice(&interval.to_le_bytes());
-    msg
+/// `HMAC_key(B, j)`: the MAC input is the payload followed by the
+/// little-endian interval index, per the paper's `(B, j)`. Beacon-sized
+/// payloads are assembled on the stack so the per-beacon hot path does not
+/// allocate.
+fn mac_beacon(key: &[u8], payload: &[u8], interval: u32) -> Mac128 {
+    const STACK: usize = 60;
+    if payload.len() <= STACK - 4 {
+        let mut msg = [0u8; STACK];
+        msg[..payload.len()].copy_from_slice(payload);
+        msg[payload.len()..payload.len() + 4].copy_from_slice(&interval.to_le_bytes());
+        hmac_sha256_128(key, &msg[..payload.len() + 4])
+    } else {
+        let mut msg = Vec::with_capacity(payload.len() + 4);
+        msg.extend_from_slice(payload);
+        msg.extend_from_slice(&interval.to_le_bytes());
+        hmac_sha256_128(key, &msg)
+    }
 }
 
 /// Compute the µTESLA fields for `payload` in interval `j` using an
@@ -93,7 +105,7 @@ fn mac_message(payload: &[u8], interval: u32) -> Vec<u8> {
 /// Panics if `j` is outside `1..=chain.len()`.
 pub fn sign_with_chain(chain: &HashChain, payload: &[u8], j: usize) -> BeaconAuth {
     let key = chain.interval_key(j);
-    let mac = hmac_sha256_128(&key, &mac_message(payload, j as u32));
+    let mac = mac_beacon(&key, payload, j as u32);
     BeaconAuth {
         interval: j as u32,
         mac,
@@ -101,24 +113,58 @@ pub fn sign_with_chain(chain: &HashChain, payload: &[u8], j: usize) -> BeaconAut
     }
 }
 
-/// Sender side: owns the hash chain and produces [`BeaconAuth`] fields.
+/// Recently emitted chain elements the signer keeps around, as a count.
+/// Covers re-signing the current interval and modest backward interval
+/// jumps (a receiver-turned-reference whose clock was stepped back during a
+/// domain merge); anything older falls back to a recompute from the seed.
+const SIGNER_RECENT_WINDOW: usize = 32;
+
+/// Sender side: produces [`BeaconAuth`] fields from `O(log n)` stored chain
+/// state.
+///
+/// Instead of materializing all `n` chain elements (16·n bytes — 160 KiB
+/// for the paper's 10 100-interval chain), the signer drives a
+/// [`FractalTraverser`]: µTESLA consumes keys in exactly the traverser's
+/// emission order (`h^{n-1}, h^{n-2}, …`), so sequential signing costs
+/// `O(log n)` amortized hashes per interval against `O(log n)` pebbles. A
+/// small window of recently emitted elements serves repeat signatures for
+/// the same (or slightly older) interval; signing an interval that left the
+/// window recomputes from the seed without disturbing the traverser.
 pub struct MuTeslaSigner {
-    chain: HashChain,
+    seed: ChainElement,
+    anchor: ChainElement,
     schedule: IntervalSchedule,
+    /// Built on the first signature. Every station publishes an anchor at
+    /// initiation but only the node that actually becomes reference signs,
+    /// so eager traversal setup would double the per-node initiation cost
+    /// for nothing.
+    traverser: Option<FractalTraverser>,
+    /// Recently emitted elements, newest (lowest chain position) at the
+    /// back: `(position, h^position(seed))`.
+    recent: VecDeque<(usize, ChainElement)>,
+    /// One-way-function invocations spent on out-of-window recomputes.
+    fallback_hashes: u64,
 }
 
 impl MuTeslaSigner {
     /// Build a signer from a seed; the chain length comes from the schedule.
+    /// Costs the `n` hashes of the anchor walk (which every station owes at
+    /// initiation anyway); traversal state is materialized lazily on first
+    /// signature.
     pub fn new(seed: ChainElement, schedule: IntervalSchedule) -> Self {
         MuTeslaSigner {
-            chain: HashChain::generate(seed, schedule.n),
+            seed,
+            anchor: FractalTraverser::anchor_of(&seed, schedule.n),
             schedule,
+            traverser: None,
+            recent: VecDeque::with_capacity(SIGNER_RECENT_WINDOW),
+            fallback_hashes: 0,
         }
     }
 
     /// The anchor to publish (`hⁿ(s)`).
     pub fn anchor(&self) -> ChainElement {
-        self.chain.anchor()
+        self.anchor
     }
 
     /// The schedule in force.
@@ -126,12 +172,76 @@ impl MuTeslaSigner {
         &self.schedule
     }
 
-    /// Sign `payload` for interval `j`.
+    /// The chain seed. A compromised node's credentials are exactly this
+    /// value — the internal-attacker model signs with the victim's seed.
+    pub fn seed(&self) -> ChainElement {
+        self.seed
+    }
+
+    /// `h^pos(seed)`, served from the anchor, the recent window, the
+    /// traverser (advancing it), or — for positions the traverser already
+    /// passed and the window evicted — a recompute from the seed.
+    fn element_at(&mut self, pos: usize) -> ChainElement {
+        if pos >= self.schedule.n {
+            debug_assert_eq!(pos, self.schedule.n, "past the anchor");
+            return self.anchor;
+        }
+        if let Some(&(_, v)) = self.recent.iter().rev().find(|(p, _)| *p == pos) {
+            return v;
+        }
+        let (seed, n) = (self.seed, self.schedule.n);
+        let traverser = self
+            .traverser
+            .get_or_insert_with(|| FractalTraverser::new(seed, n));
+        // `remaining()` is the position the traverser will emit next, plus
+        // one — so it emits `pos` iff `remaining() > pos`.
+        if traverser.remaining() > pos {
+            let mut value = self.anchor;
+            while traverser.remaining() > pos {
+                value = traverser.next_element().expect("remaining > 0");
+                let emitted = traverser.remaining();
+                if self.recent.len() == SIGNER_RECENT_WINDOW {
+                    self.recent.pop_front();
+                }
+                self.recent.push_back((emitted, value));
+            }
+            return value;
+        }
+        // Consumed and evicted: rare backward jump beyond the window.
+        self.fallback_hashes += pos as u64;
+        chain_step_n(&self.seed, pos)
+    }
+
+    /// Sign `payload` for interval `j`. Byte-identical to
+    /// [`sign_with_chain`] over a chain generated from the same seed.
     ///
     /// # Panics
     /// Panics if `j` is outside `1..=n`.
-    pub fn sign(&self, payload: &[u8], j: usize) -> BeaconAuth {
-        sign_with_chain(&self.chain, payload, j)
+    pub fn sign(&mut self, payload: &[u8], j: usize) -> BeaconAuth {
+        let n = self.schedule.n;
+        assert!(j >= 1 && j <= n, "interval out of chain range");
+        // Fetch the key (position n-j) first: reaching it emits the
+        // disclosed element (position n-j+1) into the recent window.
+        let key = self.element_at(n - j);
+        let disclosed = self.element_at(n - j + 1);
+        BeaconAuth {
+            interval: j as u32,
+            mac: mac_beacon(&key, payload, j as u32),
+            disclosed,
+        }
+    }
+
+    /// Chain elements currently held in memory: traverser pebbles, the
+    /// recent window, seed and anchor. `O(log n)` — the point of the
+    /// fractal-backed signer (see `signer_memory_is_logarithmic`).
+    pub fn stored_elements(&self) -> usize {
+        self.traverser.as_ref().map_or(0, |t| t.pebble_count()) + self.recent.len() + 2
+    }
+
+    /// Total one-way-function invocations spent signing so far (traversal
+    /// plus out-of-window recomputes; excludes construction's anchor walk).
+    pub fn hash_count(&self) -> u64 {
+        self.traverser.as_ref().map_or(0, |t| t.hash_count()) + self.fallback_hashes
     }
 }
 
@@ -174,6 +284,10 @@ pub struct MuTeslaVerifier {
     cached_key: Option<(u32, ChainElement)>,
     /// Beacon received in the previous interval, awaiting its key.
     pending: Option<(u32, Vec<u8>, Mac128)>,
+    /// One-way-function invocations spent validating disclosed keys (the
+    /// observable that distinguishes the O(Δj) cached path from the O(j)
+    /// anchor path — see `warm_path_costs_delta_j_hashes`).
+    hashes: u64,
 }
 
 impl MuTeslaVerifier {
@@ -184,6 +298,7 @@ impl MuTeslaVerifier {
             schedule,
             cached_key: None,
             pending: None,
+            hashes: 0,
         }
     }
 
@@ -219,6 +334,7 @@ impl MuTeslaVerifier {
         let valid = match self.cached_key {
             Some((cached_interval, cached)) if key_interval >= cached_interval => {
                 let distance = (key_interval - cached_interval) as usize;
+                self.hashes += distance as u64;
                 if distance == 0 {
                     auth.disclosed == cached
                 } else {
@@ -228,6 +344,7 @@ impl MuTeslaVerifier {
             _ => {
                 // key of interval (j-1) is h^{n-(j-1)} = h^{n-j+1};
                 // hashing it (j-1) times yields h^n = anchor.
+                self.hashes += u64::from(key_interval);
                 chain_step_n(&auth.disclosed, key_interval as usize) == self.anchor
             }
         };
@@ -242,7 +359,7 @@ impl MuTeslaVerifier {
         // the now-validated key.
         let released = match self.pending.take() {
             Some((pj, ppayload, pmac)) if pj == key_interval => {
-                let expect = hmac_sha256_128(&auth.disclosed, &mac_message(&ppayload, pj));
+                let expect = mac_beacon(&auth.disclosed, &ppayload, pj);
                 if mac_eq(&expect, &pmac) {
                     Some(AuthenticatedBeacon {
                         interval: pj,
@@ -271,6 +388,20 @@ impl MuTeslaVerifier {
     /// Whether a beacon is buffered awaiting authentication.
     pub fn has_pending(&self) -> bool {
         self.pending.is_some()
+    }
+
+    /// Drop any buffered beacon. A verifier pulled out of a cache after
+    /// arbitrary elapsed time must not release (or flag as forged) a stale
+    /// buffer whose disclosure window has long passed; clearing makes its
+    /// accept/reject decisions coincide with a freshly built verifier while
+    /// keeping the cached authenticated element (the `O(Δj)` fast path).
+    pub fn clear_pending(&mut self) {
+        self.pending = None;
+    }
+
+    /// One-way-function invocations spent on disclosed-key validation.
+    pub fn hash_count(&self) -> u64 {
+        self.hashes
     }
 }
 
@@ -310,7 +441,7 @@ mod tests {
     #[test]
     fn sign_then_verify_chain_of_beacons() {
         let sched = schedule(50);
-        let signer = MuTeslaSigner::new(seed(1), sched);
+        let mut signer = MuTeslaSigner::new(seed(1), sched);
         let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
 
         let mut released = Vec::new();
@@ -318,7 +449,9 @@ mod tests {
             let payload = format!("beacon-{j}").into_bytes();
             let auth = signer.sign(&payload, j);
             let now = sched.expected_emission_us(j) + 7.0;
-            let out = verifier.observe(&payload, &auth, now).expect("valid beacon");
+            let out = verifier
+                .observe(&payload, &auth, now)
+                .expect("valid beacon");
             if let Some(b) = out {
                 released.push(b);
             }
@@ -335,7 +468,7 @@ mod tests {
     #[test]
     fn replayed_beacon_rejected_by_interval_check() {
         let sched = schedule(50);
-        let signer = MuTeslaSigner::new(seed(2), sched);
+        let mut signer = MuTeslaSigner::new(seed(2), sched);
         let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
 
         let auth = signer.sign(b"old", 3);
@@ -355,7 +488,7 @@ mod tests {
     #[test]
     fn forged_disclosed_key_rejected() {
         let sched = schedule(50);
-        let signer = MuTeslaSigner::new(seed(3), sched);
+        let mut signer = MuTeslaSigner::new(seed(3), sched);
         let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
 
         let mut auth = signer.sign(b"x", 4);
@@ -372,7 +505,7 @@ mod tests {
         // interval reusing a previously disclosed key (too late: that key's
         // interval has passed) — it has no valid key for the current one.
         let sched = schedule(50);
-        let signer = MuTeslaSigner::new(seed(4), sched);
+        let mut signer = MuTeslaSigner::new(seed(4), sched);
         let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
 
         // Legitimate beacons for intervals 1 and 2 observed.
@@ -406,7 +539,7 @@ mod tests {
     #[test]
     fn tampered_previous_beacon_detected() {
         let sched = schedule(50);
-        let signer = MuTeslaSigner::new(seed(5), sched);
+        let mut signer = MuTeslaSigner::new(seed(5), sched);
         let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
 
         // Interval 1: attacker tampers the payload in flight (MAC no longer
@@ -439,7 +572,7 @@ mod tests {
     #[test]
     fn missed_beacons_do_not_break_verification() {
         let sched = schedule(50);
-        let signer = MuTeslaSigner::new(seed(6), sched);
+        let mut signer = MuTeslaSigner::new(seed(6), sched);
         let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
 
         // Receive beacon 1, miss 2-4, receive 5: key check must still pass
@@ -476,7 +609,7 @@ mod tests {
     #[test]
     fn cached_key_reduces_to_single_step() {
         let sched = schedule(50);
-        let signer = MuTeslaSigner::new(seed(7), sched);
+        let mut signer = MuTeslaSigner::new(seed(7), sched);
         let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
         for j in 1..=3usize {
             let p = vec![j as u8];
@@ -492,7 +625,7 @@ mod tests {
     #[test]
     fn verifier_state_unchanged_on_rejection() {
         let sched = schedule(50);
-        let signer = MuTeslaSigner::new(seed(8), sched);
+        let mut signer = MuTeslaSigner::new(seed(8), sched);
         let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
 
         let p1 = b"one".to_vec();
@@ -516,5 +649,136 @@ mod tests {
             .observe(&p2, &a2, sched.expected_emission_us(2))
             .unwrap();
         assert_eq!(out.unwrap().payload, p1);
+    }
+
+    #[test]
+    fn fractal_signer_matches_store_all() {
+        // The fractal-backed signer must emit byte-identical BeaconAuth
+        // fields to sign_with_chain over a chain from the same seed, for
+        // every interval, in any visiting order the protocol produces
+        // (sequential, repeated, and small backward jumps).
+        let n = 200;
+        let sched = schedule(n);
+        let chain = HashChain::generate(seed(9), n);
+        let mut signer = MuTeslaSigner::new(seed(9), sched);
+        assert_eq!(signer.anchor(), chain.anchor());
+        for j in 1..=n {
+            let payload = [j as u8; 24];
+            let expect = sign_with_chain(&chain, &payload, j);
+            assert_eq!(signer.sign(&payload, j), expect, "j={j}");
+            // Repeat signature for the same interval (reference re-beacons
+            // within one interval).
+            assert_eq!(signer.sign(&payload, j), expect, "repeat j={j}");
+            // Occasional small backward jump (clock stepped back a little).
+            if j > 3 && j % 50 == 0 {
+                let back = j - 3;
+                let p = [back as u8; 24];
+                assert_eq!(
+                    signer.sign(&p, back),
+                    sign_with_chain(&chain, &p, back),
+                    "back-jump to {back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signer_out_of_window_fallback_recomputes_correctly() {
+        let n = 300;
+        let sched = schedule(n);
+        let chain = HashChain::generate(seed(10), n);
+        let mut signer = MuTeslaSigner::new(seed(10), sched);
+        // Advance far past interval 5, evicting it from the recent window.
+        let _ = signer.sign(b"x", 250);
+        let before = signer.hash_count();
+        let a = signer.sign(b"old", 5);
+        assert_eq!(a, sign_with_chain(&chain, b"old", 5));
+        assert!(
+            signer.hash_count() > before,
+            "deep backward jump pays a recompute"
+        );
+        // The traverser was not disturbed: forward signing still matches.
+        let a = signer.sign(b"y", 251);
+        assert_eq!(a, sign_with_chain(&chain, b"y", 251));
+    }
+
+    #[test]
+    fn signer_memory_is_logarithmic() {
+        // Chain length 2^14: a store-all signer would hold 16 385 elements;
+        // the fractal-backed signer must stay within pebbles (≤ log₂n + 2)
+        // plus the constant recent window at every point of a full
+        // sequential signing pass.
+        let n = 1 << 14;
+        let sched = IntervalSchedule::new(0.0, BP, n);
+        let mut signer = MuTeslaSigner::new(seed(11), sched);
+        let budget = 14 + 2 + SIGNER_RECENT_WINDOW + 2;
+        let mut max_stored = signer.stored_elements();
+        for j in 1..=n {
+            let _ = signer.sign(b"beacon", j);
+            max_stored = max_stored.max(signer.stored_elements());
+        }
+        assert!(
+            max_stored <= budget,
+            "stored {max_stored} chain elements, budget {budget}"
+        );
+        // Spot-check correctness at the extremes of the pass.
+        assert_eq!(
+            signer.sign(b"beacon", n).disclosed,
+            chain_step_n(&seed(11), 1),
+            "last interval discloses h^1"
+        );
+    }
+
+    #[test]
+    fn warm_path_costs_delta_j_hashes() {
+        // The verifier's exposed hash counter pins the two validation
+        // regimes: O(j) against the anchor when cold, O(Δj) against the
+        // cached element when warm.
+        let n = 1000;
+        let sched = schedule(n);
+        let mut signer = MuTeslaSigner::new(seed(12), sched);
+        let mut v = MuTeslaVerifier::new(signer.anchor(), sched);
+
+        // Cold: first observation at interval 500 walks key_interval = 499
+        // hashes to the anchor.
+        let a = signer.sign(b"b500", 500);
+        v.observe(b"b500", &a, sched.expected_emission_us(500))
+            .unwrap();
+        assert_eq!(v.hash_count(), 499, "anchor path is O(j)");
+
+        // Warm: consecutive beacons cost exactly Δj = 1 hash each.
+        for j in 501..=520usize {
+            let before = v.hash_count();
+            let a = signer.sign(b"b", j);
+            v.observe(b"b", &a, sched.expected_emission_us(j)).unwrap();
+            assert_eq!(v.hash_count() - before, 1, "warm path at j={j}");
+        }
+
+        // A gap of k missed beacons costs Δj = k + 1.
+        let before = v.hash_count();
+        let a = signer.sign(b"b", 530);
+        v.observe(b"b", &a, sched.expected_emission_us(530))
+            .unwrap();
+        assert_eq!(v.hash_count() - before, 10, "gap path is O(Δj)");
+    }
+
+    #[test]
+    fn clear_pending_drops_buffer_keeps_cache() {
+        let sched = schedule(50);
+        let mut signer = MuTeslaSigner::new(seed(13), sched);
+        let mut v = MuTeslaVerifier::new(signer.anchor(), sched);
+        for j in 1..=2usize {
+            let a = signer.sign(b"p", j);
+            v.observe(b"p", &a, sched.expected_emission_us(j)).unwrap();
+        }
+        assert!(v.has_pending());
+        let cached = v.cached_key();
+        v.clear_pending();
+        assert!(!v.has_pending());
+        assert_eq!(v.cached_key(), cached, "cached element survives");
+        // Nothing is released for the cleared buffer; progress continues.
+        let a = signer.sign(b"p", 3);
+        let out = v.observe(b"p", &a, sched.expected_emission_us(3)).unwrap();
+        assert_eq!(out, None);
     }
 }

@@ -229,7 +229,10 @@ mod tests {
         let short = Bytes::from_static(&[0u8; 10]);
         assert!(matches!(
             BeaconBody::decode(short.clone()),
-            Err(FrameError::Length { expected: 56, got: 10 })
+            Err(FrameError::Length {
+                expected: 56,
+                got: 10
+            })
         ));
         assert!(SecuredBeacon::decode(short).is_err());
     }

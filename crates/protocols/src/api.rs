@@ -11,7 +11,7 @@ use clocks::AdjustedClock;
 use mac80211::frame::BeaconBody;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
-use sstsp_crypto::{BeaconAuth, ChainElement, HashChain};
+use sstsp_crypto::{BeaconAuth, ChainElement};
 use std::collections::HashMap;
 
 pub use rand_chacha;
@@ -265,10 +265,12 @@ pub trait SyncProtocol {
     /// (Sec. 3.3 "Node initiation"); other protocols need nothing.
     fn init(&mut self, _ctx: &mut NodeCtx<'_>) {}
 
-    /// The node's one-way hash chain, if it maintains one. Lets wrappers
-    /// (e.g. the internal attacker, which *is* a compromised legitimate
-    /// node) sign with the node's published credentials.
-    fn hash_chain(&self) -> Option<&HashChain> {
+    /// The seed of the node's one-way hash chain, if it maintains one. Lets
+    /// wrappers (e.g. the internal attacker, which *is* a compromised
+    /// legitimate node) sign with the node's published credentials — the
+    /// seed is the entire secret, and a signer rebuilt from it emits
+    /// byte-identical authentication fields.
+    fn chain_seed(&self) -> Option<ChainElement> {
         None
     }
 

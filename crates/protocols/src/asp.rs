@@ -126,8 +126,10 @@ impl SyncProtocol for AspNode {
         let corrected_now = self.corrected(rx.local_rx_us);
         if ts > corrected_now {
             // Forward adoption, like TSF (no backward leaps).
-            self.timer
-                .adopt_if_later(ts - (self.rate_fix - 1.0) * (rx.local_rx_us - self.rate_pivot_us), rx.local_rx_us);
+            self.timer.adopt_if_later(
+                ts - (self.rate_fix - 1.0) * (rx.local_rx_us - self.rate_pivot_us),
+                rx.local_rx_us,
+            );
             self.bps_since_update = 0;
             self.self_corrected = false;
         }
@@ -212,7 +214,10 @@ mod tests {
                 other => panic!("ASP uses priority slots, got {other:?}"),
             }
         }
-        assert!(transmissions > 15, "fast station competes about half the BPs");
+        assert!(
+            transmissions > 15,
+            "fast station competes about half the BPs"
+        );
     }
 
     #[test]

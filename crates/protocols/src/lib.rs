@@ -32,11 +32,11 @@ pub mod api;
 pub mod asp;
 pub mod atsp;
 pub mod rk;
-#[cfg(test)]
-pub(crate) mod testutil;
 pub mod satsf;
 pub mod sstsp;
 pub mod tatsp;
+#[cfg(test)]
+pub(crate) mod testutil;
 pub mod tsf;
 
 pub use api::{

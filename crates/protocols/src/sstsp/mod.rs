@@ -39,10 +39,14 @@ use crate::api::{
 use clocks::{AdjustedClock, SyncSample};
 use mac80211::frame::BeaconBody;
 use rand::Rng;
-use sstsp_crypto::{
-    sign_with_chain, ChainElement, HashChain, IntervalSchedule, MuTeslaVerifier,
-};
+use sstsp_crypto::{ChainElement, IntervalSchedule, MuTeslaSigner, MuTeslaVerifier};
 use std::collections::VecDeque;
+
+/// Retired per-source verifiers kept for reuse. Bounds the cache to the
+/// handful of stations a node realistically alternates between (reference
+/// churn, domain merges); beyond that the oldest entry is evicted and its
+/// next use pays one anchor walk again.
+const VERIFIER_CACHE_CAP: usize = 8;
 
 /// Diagnostic counters exposed for tests, ablations and reports.
 #[derive(Debug, Clone, Copy, Default)]
@@ -97,10 +101,11 @@ pub struct SstspNode {
     /// Consecutive BPs spent election-eligible (drives the contention
     /// probability ramp; see `ProtocolConfig::contend_prob`).
     eligible_bps: u32,
-    /// The node's own hash chain, generated at node initiation (Sec. 3.3)
-    /// and published through the anchor registry. Tests that skip `init`
-    /// fall back to generation at first reference assumption.
-    chain: Option<HashChain>,
+    /// The node's own µTESLA signer, created at node initiation (Sec. 3.3)
+    /// with its anchor published through the registry. Fractal-backed: it
+    /// stores O(log n) chain elements, not the full chain. Tests that skip
+    /// `init` fall back to creation at first reference assumption.
+    signer: Option<MuTeslaSigner>,
     ref_src: Option<NodeId>,
     /// The timing-domain root this node's clock descends from (its own id
     /// while holding the reference role). Propagated in beacons so
@@ -110,6 +115,12 @@ pub struct SstspNode {
     /// upstream.hop + 1 as member). `u32::MAX` = not attached.
     my_hop: u32,
     verifier: Option<MuTeslaVerifier>,
+    /// Retired verifiers by source, so re-hearing a station validates its
+    /// disclosed keys against that verifier's cached authenticated element
+    /// (O(Δj) hashes) instead of re-walking the chain to the anchor (O(j))
+    /// on every beacon. Pending buffers are cleared on stash/reuse, which
+    /// keeps accept/reject decisions identical to a freshly built verifier.
+    verifier_cache: Vec<(NodeId, MuTeslaVerifier)>,
     /// Guard-time state: `false` = still converging, the loose coarse
     /// threshold applies; `true` = locked onto the reference, the tight
     /// fine-phase δ applies. The paper distinguishes exactly these two
@@ -165,11 +176,12 @@ impl SstspNode {
             seq: 0,
             missed_bps: 0,
             eligible_bps: 0,
-            chain: None,
+            signer: None,
             ref_src: None,
             domain_root: None,
             my_hop: u32::MAX,
             verifier: None,
+            verifier_cache: Vec::new(),
             guard_locked: false,
             pending: VecDeque::with_capacity(4),
             samples: VecDeque::with_capacity(2),
@@ -252,20 +264,45 @@ impl SstspNode {
         (j.max(1.0) as usize).min(ctx.config.total_intervals)
     }
 
-    /// Generate the node's hash chain and publish its anchor, if not done
+    /// Create the node's µTESLA signer and publish its anchor, if not done
     /// yet (idempotent).
     fn ensure_chain(&mut self, ctx: &mut NodeCtx<'_>) {
-        if self.chain.is_none() {
+        if self.signer.is_none() {
             let mut seed: ChainElement = [0u8; 16];
             ctx.rng.fill(&mut seed);
-            let chain = HashChain::generate(seed, ctx.config.total_intervals);
-            ctx.anchors.publish(ctx.id, chain.anchor());
-            self.chain = Some(chain);
+            let signer = MuTeslaSigner::new(seed, Self::schedule(ctx));
+            ctx.anchors.publish(ctx.id, signer.anchor());
+            self.signer = Some(signer);
         }
+    }
+
+    /// Retire the active verifier into the per-source cache (pending buffer
+    /// dropped) so a later return to that source resumes from its cached
+    /// authenticated element instead of the anchor.
+    fn stash_verifier(&mut self) {
+        let (Some(src), Some(mut v)) = (self.ref_src, self.verifier.take()) else {
+            return;
+        };
+        v.clear_pending();
+        self.cache_verifier(src, v);
+    }
+
+    fn cache_verifier(&mut self, src: NodeId, v: MuTeslaVerifier) {
+        if let Some(slot) = self.verifier_cache.iter_mut().find(|(s, _)| *s == src) {
+            slot.1 = v;
+            return;
+        }
+        if self.verifier_cache.len() >= VERIFIER_CACHE_CAP {
+            self.verifier_cache.remove(0);
+        }
+        self.verifier_cache.push((src, v));
     }
 
     fn become_reference(&mut self, ctx: &mut NodeCtx<'_>) {
         self.ensure_chain(ctx);
+        // Retire the verifier of the upstream being left behind (keyed by
+        // the *old* ref_src, so it must happen before the role flips).
+        self.stash_verifier();
         // The reference's clock is frozen (it disciplines no one's clock
         // but its own hardware): replace any catch-up transient in k with
         // the best *rate* estimate available, so the network's time base
@@ -288,7 +325,6 @@ impl SstspNode {
         // The reference is definitionally synchronized: if later displaced
         // it must hold the tight guard, not the joining-node threshold.
         self.guard_locked = true;
-        self.verifier = None;
         self.samples.clear();
         self.pending.clear();
         self.missed_bps = 0;
@@ -297,11 +333,11 @@ impl SstspNode {
     }
 
     fn step_down(&mut self) {
+        self.stash_verifier();
         self.is_reference = false;
         self.ref_src = None;
         self.domain_root = None;
         self.my_hop = u32::MAX;
-        self.verifier = None;
         self.samples.clear();
         self.pending.clear();
     }
@@ -333,8 +369,8 @@ impl SstspNode {
         // led its own (since-drifted) domain must still be able to rejoin
         // the surviving one, which is part of this mode's documented
         // security trade-off.
-        let takeover = (self.domain_root.is_some() || ctx.config.multihop_relay)
-            && body.root < my_root;
+        let takeover =
+            (self.domain_root.is_some() || ctx.config.multihop_relay) && body.root < my_root;
 
         // Stickiness: while our reference is alive, beacons from other
         // senders are ignored (in multi-hop operation several relays are
@@ -424,8 +460,8 @@ impl SstspNode {
         // *new* sender are validated against a candidate verifier that is
         // only committed on success — an invalid beacon must never evict
         // the current reference state.
-        let released = if self.ref_src == Some(src) && self.verifier.is_some() {
-            let verifier = self.verifier.as_mut().expect("checked");
+        let on_current_ref = self.ref_src == Some(src);
+        let released = if let Some(verifier) = self.verifier.as_mut().filter(|_| on_current_ref) {
             match verifier.observe(&body.auth_bytes(), &auth, c_now) {
                 Ok(released) => released,
                 Err(_) => {
@@ -441,12 +477,22 @@ impl SstspNode {
                 self.stats.unknown_anchor += 1;
                 return;
             };
-            let mut candidate = MuTeslaVerifier::new(anchor, Self::schedule(ctx));
+            // Reuse the retired verifier for this source when one is
+            // cached: its authenticated element turns the disclosed-key
+            // walk from O(j) anchor hashes into O(Δj). Pending is always
+            // clear (enforced on stash), so its accept/reject decisions
+            // coincide with a fresh verifier's.
+            let mut candidate = match self.verifier_cache.iter().position(|(s, _)| *s == src) {
+                Some(i) => self.verifier_cache.remove(i).1,
+                None => MuTeslaVerifier::new(anchor, Self::schedule(ctx)),
+            };
+            debug_assert!(!candidate.has_pending());
             match candidate.observe(&body.auth_bytes(), &auth, c_now) {
                 Ok(released) => {
                     // Valid beacon from a new reference: adopt it. If we
                     // held the role ourselves, someone displaced us (we can
                     // only hear them if our own beacon did not go out).
+                    self.stash_verifier();
                     self.is_reference = false;
                     self.ref_src = Some(src);
                     self.domain_root = Some(body.root);
@@ -470,6 +516,10 @@ impl SstspNode {
                     released
                 }
                 Err(_) => {
+                    // `observe` leaves the verifier untouched on rejection;
+                    // keep it cached so the next beacon from this source
+                    // still gets the cheap validation path.
+                    self.cache_verifier(src, candidate);
                     self.stats.mutesla_rejections += 1;
                     self.rejections_this_bp += 1;
                     return;
@@ -519,8 +569,8 @@ impl SstspNode {
         if self.samples.len() == 2 {
             let prev = self.samples[1];
             let prev2 = self.samples[0];
-            let target = (auth.interval as f64 + ctx.config.m as f64) * ctx.config.bp_us
-                + ctx.config.t_p_us;
+            let target =
+                (auth.interval as f64 + ctx.config.m as f64) * ctx.config.bp_us + ctx.config.t_p_us;
             if self
                 .adjusted
                 .retarget(rx.local_rx_us, prev, prev2, target)
@@ -586,8 +636,8 @@ impl SyncProtocol for SstspNode {
         self.ensure_chain(ctx);
     }
 
-    fn hash_chain(&self) -> Option<&HashChain> {
-        self.chain.as_ref()
+    fn chain_seed(&self) -> Option<ChainElement> {
+        self.signer.as_ref().map(|s| s.seed())
     }
 
     fn intent(&mut self, ctx: &mut NodeCtx<'_>) -> BeaconIntent {
@@ -624,7 +674,9 @@ impl SyncProtocol for SstspNode {
                     } else {
                         BeaconIntent::Silent
                     }
-                } else if self.synchronized && self.election_counter(ctx) > self.election_threshold(ctx) {
+                } else if self.synchronized
+                    && self.election_counter(ctx) > self.election_threshold(ctx)
+                {
                     // Election-eligible: contend with ramping probability
                     // (see ProtocolConfig::contend_prob for why not always).
                     let ramp = (self.eligible_bps / 10).min(6);
@@ -667,8 +719,8 @@ impl SyncProtocol for SstspNode {
                 self.my_hop.saturating_add(0)
             },
         };
-        let chain = self.chain.as_ref().expect("reference owns a chain");
-        let auth = sign_with_chain(chain, &body.auth_bytes(), j);
+        let signer = self.signer.as_mut().expect("reference owns a signer");
+        let auth = signer.sign(&body.auth_bytes(), j);
         BeaconPayload::Secured(body, auth)
     }
 
@@ -777,11 +829,11 @@ impl SyncProtocol for SstspNode {
     }
 
     fn on_join(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.stash_verifier();
         self.present = true;
         self.synchronized = false;
         self.is_reference = false;
         self.ref_src = None;
-        self.verifier = None;
         self.samples.clear();
         self.pending.clear();
         self.guard_locked = false;

@@ -196,8 +196,8 @@ fn guard_time_rejects_wild_timestamps() {
     };
     body.timestamp_us += 1_000; // way past δ = 50 µs
     let auth = {
-        let chain = duo.nodes[0].chain.as_ref().unwrap();
-        sign_with_chain(chain, &body.auth_bytes(), 3)
+        let signer = duo.nodes[0].signer.as_mut().unwrap();
+        signer.sign(&body.auth_bytes(), 3)
     };
 
     let before = duo.nodes[1].stats.guard_rejections;
@@ -236,8 +236,7 @@ fn replayed_beacon_rejected() {
         )
     });
 
-    let before =
-        duo.nodes[1].stats.mutesla_rejections + duo.nodes[1].stats.guard_rejections;
+    let before = duo.nodes[1].stats.mutesla_rejections + duo.nodes[1].stats.guard_rejections;
     let t5 = bp_time(5.0);
     let lr5 = duo.local(1, t5);
     duo.with_ctx(1, t5, |n, ctx| {
@@ -252,8 +251,7 @@ fn replayed_beacon_rejected() {
     // The replayed timestamp is ~0.2 s behind the receiver's clock: with
     // the paper's tight δ the guard fires first; with a loose δ the µTESLA
     // interval check fires. Either way it must be rejected.
-    let after =
-        duo.nodes[1].stats.mutesla_rejections + duo.nodes[1].stats.guard_rejections;
+    let after = duo.nodes[1].stats.mutesla_rejections + duo.nodes[1].stats.guard_rejections;
     assert!(after > before, "replay must be rejected");
 }
 
@@ -365,8 +363,8 @@ fn joining_node_runs_coarse_phase() {
     // The 3 ms offset is gone; remaining error within the coarse filter's
     // tolerance.
     let t = bp_time((2 + scan) as f64);
-    let err = (duo.nodes[1].clock_us(duo.local(1, t)) - duo.nodes[0].clock_us(duo.local(0, t)))
-        .abs();
+    let err =
+        (duo.nodes[1].clock_us(duo.local(1, t)) - duo.nodes[0].clock_us(duo.local(0, t))).abs();
     assert!(err < 50.0, "post-coarse error {err} µs");
 }
 
@@ -494,8 +492,8 @@ mod recovery {
             };
             body.timestamp_us += 10_000; // far outside δ
             let auth = {
-                let chain = duo.nodes[0].chain.as_ref().unwrap();
-                sign_with_chain(chain, &body.auth_bytes(), k as usize)
+                let signer = duo.nodes[0].signer.as_mut().unwrap();
+                signer.sign(&body.auth_bytes(), k as usize)
             };
             let t_rx = t + SimDuration::from_us_f64(duo.config.t_p_us);
             let lr = duo.local(1, t_rx);
@@ -522,7 +520,10 @@ mod recovery {
         inject_bad_beacons(&mut duo, 3);
         assert_eq!(duo.nodes[1].stats.alerts, 1, "threshold crossed");
         assert_eq!(duo.nodes[1].stats.recovery_restarts, 0);
-        assert!(duo.nodes[1].is_synchronized(), "alert-only policy keeps running");
+        assert!(
+            duo.nodes[1].is_synchronized(),
+            "alert-only policy keeps running"
+        );
     }
 
     #[test]

@@ -14,9 +14,7 @@
 //! * **beacon collision** — with hundreds of stations in a 31-slot window,
 //!   most BPs end in collisions and no timing information circulates.
 
-use crate::api::{
-    BeaconIntent, BeaconPayload, NodeCtx, ReceivedBeacon, SyncProtocol,
-};
+use crate::api::{BeaconIntent, BeaconPayload, NodeCtx, ReceivedBeacon, SyncProtocol};
 use clocks::TsfTimer;
 use mac80211::frame::BeaconBody;
 

@@ -5,20 +5,31 @@
 //! instant are therefore delivered in FIFO order — a prerequisite for
 //! deterministic simulation (see the crate docs).
 //!
-//! Cancellation is supported through [`EventKey`] tombstones: cancelling is
-//! O(1) and the queue lazily discards tombstoned entries on pop. This is the
-//! classic approach for simulators with frequent timer cancellation (the
-//! 802.11 beacon contention window cancels pending beacons whenever an
-//! earlier beacon is heard).
+//! Cancellation uses **generation-stamped slot keys** instead of tombstone
+//! hash sets: every scheduled event owns a slot in a reusable slab, and the
+//! slot's generation counter is bumped whenever the slot is released (pop or
+//! cancel). A heaped entry is live exactly when its recorded generation
+//! still matches its slot's, so `cancel` is O(1), `pop` validates entries
+//! with one array load, and no hashing happens anywhere on the hot path.
+//! This matters to the simulator: the 802.11 beacon contention window
+//! cancels pending beacons whenever an earlier beacon is heard, so the
+//! cancel/pop churn runs once per station per beacon period.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 /// Opaque handle identifying a scheduled event, usable to cancel it.
+///
+/// Internally a slot index plus the slot's generation at allocation time;
+/// a key is valid until its event pops or is cancelled, after which the
+/// slot's generation moves on and the key can never match again (no ABA
+/// on slot reuse).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventKey(u64);
+pub struct EventKey {
+    slot: u32,
+    generation: u32,
+}
 
 /// An event popped from the queue: its due time, its key and its payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +45,8 @@ pub struct ScheduledEvent<E> {
 struct HeapEntry<E> {
     time: SimTime,
     seq: u64,
+    slot: u32,
+    generation: u32,
     payload: E,
 }
 
@@ -60,14 +73,21 @@ impl<E> PartialOrd for HeapEntry<E> {
     }
 }
 
+/// Slot slab entry: current generation plus an intrusive free-list link.
+struct Slot {
+    generation: u32,
+    next_free: u32,
+}
+
+const NO_FREE_SLOT: u32 = u32::MAX;
+
 /// Priority queue of timestamped events with stable FIFO tie-breaking and
-/// O(1) cancellation.
+/// O(1), hash-free cancellation.
 pub struct EventQueue<E> {
     heap: BinaryHeap<HeapEntry<E>>,
-    /// Tombstones for cancelled-but-still-heaped entries.
-    cancelled: HashSet<u64>,
-    /// Keys scheduled and neither popped nor cancelled.
-    live_keys: HashSet<u64>,
+    slots: Vec<Slot>,
+    free_head: u32,
+    live: usize,
     next_seq: u64,
 }
 
@@ -82,8 +102,9 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            live_keys: HashSet::new(),
+            slots: Vec::new(),
+            free_head: NO_FREE_SLOT,
+            live: 0,
             next_seq: 0,
         }
     }
@@ -92,46 +113,87 @@ impl<E> EventQueue<E> {
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
-            cancelled: HashSet::new(),
-            live_keys: HashSet::with_capacity(cap),
+            slots: Vec::with_capacity(cap),
+            free_head: NO_FREE_SLOT,
+            live: 0,
             next_seq: 0,
         }
+    }
+
+    /// Release `slot` back to the slab, invalidating all outstanding keys
+    /// and heap entries stamped with its current generation.
+    fn release(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.generation = s.generation.wrapping_add(1);
+        s.next_free = self.free_head;
+        self.free_head = slot;
+        self.live -= 1;
     }
 
     /// Schedule `payload` to fire at `time`. Returns a key that can be used
     /// with [`EventQueue::cancel`].
     pub fn schedule(&mut self, time: SimTime, payload: E) -> EventKey {
+        let slot = if self.free_head != NO_FREE_SLOT {
+            let slot = self.free_head;
+            self.free_head = self.slots[slot as usize].next_free;
+            slot
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot {
+                generation: 0,
+                next_free: NO_FREE_SLOT,
+            });
+            slot
+        };
+        let generation = self.slots[slot as usize].generation;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(HeapEntry { time, seq, payload });
-        self.live_keys.insert(seq);
-        EventKey(seq)
+        self.live += 1;
+        self.heap.push(HeapEntry {
+            time,
+            seq,
+            slot,
+            generation,
+            payload,
+        });
+        EventKey { slot, generation }
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event was
     /// still pending — cancelling a popped, already-cancelled, or unknown
     /// key returns `false` and changes nothing.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if self.live_keys.remove(&key.0) {
-            // Tombstone: pop() lazily discards the heaped entry.
-            self.cancelled.insert(key.0);
-            true
-        } else {
-            false
+        match self.slots.get(key.slot as usize) {
+            Some(s) if s.generation == key.generation => {
+                // Bumping the generation orphans the heaped entry; pop()
+                // discards it when it surfaces.
+                self.release(key.slot);
+                true
+            }
+            _ => false,
         }
+    }
+
+    /// Whether a heaped entry still owns its slot (not cancelled).
+    #[inline]
+    fn entry_live(slots: &[Slot], slot: u32, generation: u32) -> bool {
+        slots[slot as usize].generation == generation
     }
 
     /// Remove and return the earliest pending event, skipping cancelled
     /// entries.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            if !Self::entry_live(&self.slots, entry.slot, entry.generation) {
                 continue;
             }
-            self.live_keys.remove(&entry.seq);
+            self.release(entry.slot);
             return Some(ScheduledEvent {
                 time: entry.time,
-                key: EventKey(entry.seq),
+                key: EventKey {
+                    slot: entry.slot,
+                    generation: entry.generation,
+                },
                 payload: entry.payload,
             });
         }
@@ -140,27 +202,23 @@ impl<E> EventQueue<E> {
 
     /// The due time of the earliest pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drop tombstoned heads so the peeked time is accurate.
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-            } else {
+            if Self::entry_live(&self.slots, entry.slot, entry.generation) {
                 return Some(entry.time);
             }
+            self.heap.pop();
         }
         None
     }
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.live_keys.len()
+        self.live
     }
 
     /// True if no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.live_keys.is_empty()
+        self.live == 0
     }
 }
 
@@ -218,7 +276,25 @@ mod tests {
     #[test]
     fn cancel_unknown_key_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventKey(42)));
+        let stale = EventKey {
+            slot: 42,
+            generation: 0,
+        };
+        assert!(!q.cancel(stale));
+    }
+
+    #[test]
+    fn stale_key_never_cancels_slot_reuse() {
+        let mut q = EventQueue::new();
+        let k1 = q.schedule(SimTime::from_us(1), "first");
+        q.pop().unwrap();
+        // The slot is reused with a fresh generation.
+        let k2 = q.schedule(SimTime::from_us(2), "second");
+        assert_ne!(k1, k2);
+        assert!(!q.cancel(k1), "stale key must not cancel the new tenant");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(k2));
+        assert!(q.pop().is_none());
     }
 
     #[test]
@@ -243,5 +319,23 @@ mod tests {
         assert_eq!(q.pop().unwrap().payload, 4);
         assert_eq!(q.pop().unwrap().payload, 3);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heavy_cancel_churn_reuses_slots() {
+        let mut q = EventQueue::new();
+        for round in 0..50u64 {
+            let keys: Vec<_> = (0..8)
+                .map(|i| q.schedule(SimTime::from_us(round * 10 + i), (round, i)))
+                .collect();
+            for k in keys.iter().take(7) {
+                assert!(q.cancel(*k));
+            }
+            let e = q.pop().unwrap();
+            assert_eq!(e.payload, (round, 7));
+            assert!(q.is_empty());
+        }
+        // The slab never needs more slots than the peak live count.
+        assert!(q.slots.len() <= 8, "slab grew to {}", q.slots.len());
     }
 }

@@ -114,8 +114,12 @@ mod tests {
 
     #[test]
     fn different_master_different_stream() {
-        let a: u64 = RngStreams::new(1).stream(StreamDomain::Protocol, 0).random();
-        let b: u64 = RngStreams::new(2).stream(StreamDomain::Protocol, 0).random();
+        let a: u64 = RngStreams::new(1)
+            .stream(StreamDomain::Protocol, 0)
+            .random();
+        let b: u64 = RngStreams::new(2)
+            .stream(StreamDomain::Protocol, 0)
+            .random();
         assert_ne!(a, b);
     }
 

@@ -130,7 +130,8 @@ impl TimeSeries {
         let mut bucket_best: Option<(SimTime, f64)> = None;
         let mut bucket_idx = 0usize;
         for (t, v) in self.iter() {
-            let idx = (((t.as_ps() - t0) as u128 * max_points as u128 / (span as u128 + 1)) as usize)
+            let idx = (((t.as_ps() - t0) as u128 * max_points as u128 / (span as u128 + 1))
+                as usize)
                 .min(max_points - 1);
             if idx != bucket_idx {
                 if let Some((bt, bv)) = bucket_best.take() {
@@ -188,16 +189,20 @@ mod tests {
     #[test]
     fn window_mean() {
         let s = series(&[(0, 2.0), (1, 4.0), (2, 6.0)]);
-        assert_eq!(
-            s.mean_in(SimTime::ZERO, SimTime::from_secs(2)),
-            Some(4.0)
-        );
+        assert_eq!(s.mean_in(SimTime::ZERO, SimTime::from_secs(2)), Some(4.0));
     }
 
     #[test]
     fn sustained_below_finds_first_stable_point() {
         // dips below at t=1 but bounces, settles from t=3.
-        let s = series(&[(0, 50.0), (1, 10.0), (2, 40.0), (3, 9.0), (4, 8.0), (5, 7.0)]);
+        let s = series(&[
+            (0, 50.0),
+            (1, 10.0),
+            (2, 40.0),
+            (3, 9.0),
+            (4, 8.0),
+            (5, 7.0),
+        ]);
         assert_eq!(
             s.first_sustained_below(25.0, 3),
             Some(SimTime::from_secs(3))

@@ -124,7 +124,10 @@ impl<E> Simulator<E> {
                 Some(_) => {}
             }
             let ev = self.queue.pop().expect("peeked event must pop");
-            debug_assert!(ev.time >= self.now, "event queue returned out-of-order event");
+            debug_assert!(
+                ev.time >= self.now,
+                "event queue returned out-of-order event"
+            );
             self.now = ev.time;
             self.events_processed += 1;
             if handler(self, ev) == SimControl::Halt {
@@ -151,10 +154,13 @@ mod tests {
         sim.schedule_at(SimTime::from_ms(10), Ev::Tick(1));
         let mut seen = Vec::new();
         let reason = sim.run(|sim, ev| {
-            seen.push((ev.time, match ev.payload {
-                Ev::Tick(n) => n,
-                Ev::Stop => 0,
-            }));
+            seen.push((
+                ev.time,
+                match ev.payload {
+                    Ev::Tick(n) => n,
+                    Ev::Stop => 0,
+                },
+            ));
             assert_eq!(sim.now(), ev.time);
             SimControl::Continue
         });

@@ -118,21 +118,32 @@ impl Channel {
             return WindowOutcome::Jammed { victims };
         }
         let min_slot = attempts.iter().map(|a| a.slot).min().expect("non-empty");
-        let mut winners: Vec<u32> = attempts
-            .iter()
-            .filter(|a| a.slot == min_slot)
-            .map(|a| a.station)
-            .collect();
-        winners.sort_unstable();
-        if winners.len() == 1 {
+        // Success is the steady-state outcome, so decide it without
+        // collecting the earliest-slot occupants; the collision path keeps
+        // its sorted collider list.
+        let mut occupants = 0usize;
+        let mut winner = u32::MAX;
+        for a in attempts {
+            if a.slot == min_slot {
+                occupants += 1;
+                winner = winner.min(a.station);
+            }
+        }
+        if occupants == 1 {
             WindowOutcome::Success {
-                winner: winners[0],
+                winner,
                 slot: min_slot,
             }
         } else {
+            let mut colliders: Vec<u32> = attempts
+                .iter()
+                .filter(|a| a.slot == min_slot)
+                .map(|a| a.station)
+                .collect();
+            colliders.sort_unstable();
             WindowOutcome::Collision {
                 slot: min_slot,
-                colliders: winners,
+                colliders,
             }
         }
     }
@@ -171,13 +182,7 @@ mod tests {
     fn earliest_slot_wins() {
         let ch = Channel::lossless();
         let out = ch.resolve_window(&[at(1, 5), at(2, 3), at(3, 9)]);
-        assert_eq!(
-            out,
-            WindowOutcome::Success {
-                winner: 2,
-                slot: 3
-            }
-        );
+        assert_eq!(out, WindowOutcome::Success { winner: 2, slot: 3 });
     }
 
     #[test]

@@ -32,5 +32,5 @@ pub mod topology;
 
 pub use channel::{Channel, Delivery, TxAttempt, WindowOutcome};
 pub use multihop::{resolve_multihop, MhAttempt, MhDelivery, MhOutcome};
-pub use phy::{PhyParams, FRAME_OVERHEAD_TSF, FRAME_OVERHEAD_SSTSP};
+pub use phy::{PhyParams, FRAME_OVERHEAD_SSTSP, FRAME_OVERHEAD_TSF};
 pub use topology::Topology;

@@ -109,10 +109,7 @@ pub fn resolve_multihop(
     // Deliveries.
     let mut deliveries = Vec::new();
     for rx in 0..topology.len() {
-        let own_tx: Option<u32> = txs
-            .iter()
-            .find(|&&(u, _)| u == rx)
-            .map(|&(_, s)| s);
+        let own_tx: Option<u32> = txs.iter().find(|&&(u, _)| u == rx).map(|&(_, s)| s);
         for &(tx, s) in &txs {
             if tx == rx || !topology.are_neighbors(rx, tx) {
                 continue;
@@ -200,8 +197,16 @@ mod tests {
         assert_eq!(
             out.deliveries,
             vec![
-                MhDelivery { rx: 1, tx: 0, slot: 0 },
-                MhDelivery { rx: 3, tx: 4, slot: 0 },
+                MhDelivery {
+                    rx: 1,
+                    tx: 0,
+                    slot: 0
+                },
+                MhDelivery {
+                    rx: 3,
+                    tx: 4,
+                    slot: 0
+                },
             ]
         );
     }
@@ -220,8 +225,16 @@ mod tests {
         assert_eq!(
             out.deliveries,
             vec![
-                MhDelivery { rx: 1, tx: 0, slot: 0 },
-                MhDelivery { rx: 1, tx: 2, slot: 8 },
+                MhDelivery {
+                    rx: 1,
+                    tx: 0,
+                    slot: 0
+                },
+                MhDelivery {
+                    rx: 1,
+                    tx: 2,
+                    slot: 8
+                },
             ]
         );
     }
@@ -234,9 +247,11 @@ mod tests {
         // station 2 decodes the relay.
         let out = resolve_multihop(&t, &[plain(0, 0), relay(1, 8)], A);
         assert_eq!(out.transmissions, vec![(0, 0), (1, 8)]);
-        assert!(out
-            .deliveries
-            .contains(&MhDelivery { rx: 2, tx: 1, slot: 8 }));
+        assert!(out.deliveries.contains(&MhDelivery {
+            rx: 2,
+            tx: 1,
+            slot: 8
+        }));
 
         // A relay with no upstream traffic still transmits (it forwards
         // its own disciplined clock).
@@ -258,15 +273,13 @@ mod tests {
         // 0 — 1 — 2 — 3 with relays staggered one airtime apart: the
         // beacon crosses three hops in one window.
         let t = Topology::line(4);
-        let out = resolve_multihop(
-            &t,
-            &[plain(0, 0), relay(1, 8), relay(2, 16)],
-            A,
-        );
+        let out = resolve_multihop(&t, &[plain(0, 0), relay(1, 8), relay(2, 16)], A);
         assert_eq!(out.transmissions, vec![(0, 0), (1, 8), (2, 16)]);
-        assert!(out
-            .deliveries
-            .contains(&MhDelivery { rx: 3, tx: 2, slot: 16 }));
+        assert!(out.deliveries.contains(&MhDelivery {
+            rx: 3,
+            tx: 2,
+            slot: 16
+        }));
     }
 
     #[test]
@@ -277,7 +290,11 @@ mod tests {
         let out = resolve_multihop(&t, &[plain(0, 0), plain(1, 0)], A);
         assert_eq!(
             out.deliveries,
-            vec![MhDelivery { rx: 2, tx: 1, slot: 0 }]
+            vec![MhDelivery {
+                rx: 2,
+                tx: 1,
+                slot: 0
+            }]
         );
     }
 
@@ -287,9 +304,6 @@ mod tests {
         let a = [plain(0, 2), plain(8, 1), relay(4, 9), plain(2, 2)];
         let mut b = a;
         b.reverse();
-        assert_eq!(
-            resolve_multihop(&t, &a, A),
-            resolve_multihop(&t, &b, A)
-        );
+        assert_eq!(resolve_multihop(&t, &a, A), resolve_multihop(&t, &b, A));
     }
 }

@@ -204,7 +204,7 @@ mod tests {
         assert_eq!(t.len(), 12);
         assert!(t.is_connected());
         assert_eq!(t.diameter(), Some(5)); // (4-1) + (3-1)
-        // Corner has 2 neighbors, center has 4.
+                                           // Corner has 2 neighbors, center has 4.
         assert_eq!(t.neighbors(0).len(), 2);
         assert_eq!(t.neighbors(5).len(), 4);
     }

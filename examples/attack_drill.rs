@@ -25,11 +25,17 @@ fn engine_level_drill() {
         let r = Network::build(&cfg).run();
         let before = r
             .spread
-            .max_in(simcore::SimTime::from_secs(20), simcore::SimTime::from_secs(40))
+            .max_in(
+                simcore::SimTime::from_secs(20),
+                simcore::SimTime::from_secs(40),
+            )
             .unwrap_or(f64::NAN);
         let during = r
             .spread
-            .max_in(simcore::SimTime::from_secs(45), simcore::SimTime::from_secs(80))
+            .max_in(
+                simcore::SimTime::from_secs(45),
+                simcore::SimTime::from_secs(80),
+            )
             .unwrap_or(f64::NAN);
         println!("{}", sstsp::report::render_series_chart(&r.spread, 72, 9));
         println!(

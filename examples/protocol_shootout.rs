@@ -55,12 +55,14 @@ fn main() {
             n.to_string(),
             r.sync_latency_s
                 .map_or("never".into(), |l| format!("{l:.1}s")),
-            format!("{:.1}", r.spread.max_in(tail_from, tail_to).unwrap_or(f64::NAN)),
+            format!(
+                "{:.1}",
+                r.spread.max_in(tail_from, tail_to).unwrap_or(f64::NAN)
+            ),
             format!("{:.0}", r.peak_spread_us),
             format!(
                 "{:.1}%",
-                100.0 * r.tx_collisions as f64
-                    / (r.tx_successes + r.tx_collisions).max(1) as f64
+                100.0 * r.tx_collisions as f64 / (r.tx_successes + r.tx_collisions).max(1) as f64
             ),
         ]);
     }

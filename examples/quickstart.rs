@@ -18,7 +18,10 @@ fn main() {
     );
     let result = Network::build(&cfg).run();
 
-    println!("{}", sstsp::report::render_series_chart(&result.spread, 72, 12));
+    println!(
+        "{}",
+        sstsp::report::render_series_chart(&result.spread, 72, 12)
+    );
     match result.sync_latency_s {
         Some(l) => println!("synchronized after {l:.1} s (max diff ≤ 25 µs sustained)"),
         None => println!("network never synchronized!"),

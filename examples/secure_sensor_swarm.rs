@@ -53,7 +53,10 @@ fn main() {
     let calm = ScenarioConfig::new(ProtocolKind::Sstsp, 80, 120.0, 7);
     let calm_run = Network::build(&calm).run();
     let calm_miss = slot_miss_rate(&calm_run.spread, 10.0, 120.0);
-    println!("calm swarm:      sync latency {:?} s", calm_run.sync_latency_s);
+    println!(
+        "calm swarm:      sync latency {:?} s",
+        calm_run.sync_latency_s
+    );
     println!(
         "                 steady spread ≤ {:.1} µs, slot-miss rate {:.2} %",
         calm_run
@@ -75,7 +78,10 @@ fn main() {
     let jam_run = Network::build(&jammed).run();
     let during = slot_miss_rate(&jam_run.spread, 50.0, 60.0);
     let after = slot_miss_rate(&jam_run.spread, 70.0, 120.0);
-    println!("\njammed 50–60 s:  {} windows destroyed", jam_run.jammed_windows);
+    println!(
+        "\njammed 50–60 s:  {} windows destroyed",
+        jam_run.jammed_windows
+    );
     println!(
         "                 slot-miss rate during jam {:.2} %, after recovery {:.2} %",
         during * 100.0,
@@ -92,7 +98,10 @@ fn main() {
             .unwrap_or(f64::NAN)
     );
 
-    println!("\n{}", sstsp::report::render_series_chart(&jam_run.spread, 72, 10));
+    println!(
+        "\n{}",
+        sstsp::report::render_series_chart(&jam_run.spread, 72, 10)
+    );
     println!(
         "The swarm rides out the jam: beacons resume, the reference election\n\
          recovers, and the TDMA schedule tightens back under the wake margin."

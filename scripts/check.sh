@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: build, test, lint, format.
+#
+# Run from anywhere; operates on the repository containing this script.
+# NOTE: the root package has no lib target — every cargo invocation must
+# pass --workspace or most crates silently don't build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "All checks passed."

@@ -4,8 +4,7 @@
 
 use mac80211::frame::{BeaconBody, SecuredBeacon};
 use sstsp_crypto::{
-    sign_with_chain, FractalTraverser, HashChain, IntervalSchedule, MuTeslaSigner,
-    MuTeslaVerifier,
+    sign_with_chain, FractalTraverser, HashChain, IntervalSchedule, MuTeslaSigner, MuTeslaVerifier,
 };
 
 const BP_US: f64 = 100_000.0;
@@ -13,7 +12,7 @@ const BP_US: f64 = 100_000.0;
 #[test]
 fn protocol_beacon_verifies_after_wire_roundtrip() {
     let sched = IntervalSchedule::new(0.0, BP_US, 1_000);
-    let signer = MuTeslaSigner::new([42u8; 16], sched);
+    let mut signer = MuTeslaSigner::new([42u8; 16], sched);
     let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
 
     for j in 1..=5usize {
@@ -48,7 +47,7 @@ fn protocol_beacon_verifies_after_wire_roundtrip() {
 #[test]
 fn bitflip_anywhere_in_frame_is_caught() {
     let sched = IntervalSchedule::new(0.0, BP_US, 100);
-    let signer = MuTeslaSigner::new([1u8; 16], sched);
+    let mut signer = MuTeslaSigner::new([1u8; 16], sched);
 
     let body = BeaconBody {
         src: 3,
@@ -84,11 +83,7 @@ fn bitflip_anywhere_in_frame_is_caught() {
     };
     let auth2 = signer.sign(&body2.auth_bytes(), 2);
     let err = verifier
-        .observe(
-            &body2.auth_bytes(),
-            &auth2,
-            sched.expected_emission_us(2),
-        )
+        .observe(&body2.auth_bytes(), &auth2, sched.expected_emission_us(2))
         .unwrap_err();
     assert_eq!(err, sstsp_crypto::VerifyError::PreviousBeaconForged);
 }

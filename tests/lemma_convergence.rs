@@ -57,7 +57,9 @@ fn lemma1_convergence_speed_matches_geometric_rate() {
 /// window.
 #[test]
 fn lemma2_reference_change_bounded() {
-    let mut cfg = ScenarioConfig::new(ProtocolKind::Sstsp, 20, 60.0, 13).with_m(4).with_l(1);
+    let mut cfg = ScenarioConfig::new(ProtocolKind::Sstsp, 20, 60.0, 13)
+        .with_m(4)
+        .with_l(1);
     cfg.ref_leaves_s = vec![30.0];
     let r = Network::build(&cfg).run();
 

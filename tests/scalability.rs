@@ -53,7 +53,10 @@ fn tsf_accuracy_degrades_with_network_size() {
         t[1],
         t[0]
     );
-    assert!(t[1] > 25.0, "TSF at 40 stations should miss the 25 µs bound");
+    assert!(
+        t[1] > 25.0,
+        "TSF at 40 stations should miss the 25 µs bound"
+    );
 }
 
 #[test]

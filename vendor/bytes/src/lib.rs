@@ -1,0 +1,274 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`] (cheaply cloneable, sliceable, immutable byte view),
+//! [`BytesMut`] (append-only builder), and the [`Buf`]/[`BufMut`] traits —
+//! exactly the surface the MAC frame codec uses. `Bytes` shares one
+//! reference-counted allocation across clones and slices, mirroring the
+//! real crate's zero-copy behavior. See `vendor/README.md` for why this
+//! crate is vendored.
+
+#![warn(missing_docs)]
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable, sliceable view into shared bytes.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Wrap a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self::from(bytes.to_vec())
+    }
+
+    /// Copy a slice into a new `Bytes`.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Self::from(bytes.to_vec())
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view sharing the same allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:02x?})", self.as_slice())
+    }
+}
+
+/// Read cursor over a byte source, little-endian accessors included.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copy `dst.len()` bytes out and advance past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Read a little-endian `u32` and advance past it.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Read a little-endian `u64` and advance past it.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
+}
+
+/// Append-only writer of bytes, little-endian accessors included.
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize);
+
+    /// Append a `u32` in little-endian order.
+    fn put_u32_le(&mut self, n: u32) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    /// Append a `u64` in little-endian order.
+    fn put_u64_le(&mut self, n: u64) {
+        self.put_slice(&n.to_le_bytes());
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// New empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.data.resize(self.data.len() + cnt, val);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_le_fields() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        buf.put_u32_le(0xAABB_CCDD);
+        buf.put_bytes(0xEE, 2);
+        assert_eq!(buf.len(), 14);
+        let mut wire = buf.freeze();
+        assert_eq!(wire.len(), 14);
+        assert_eq!(wire.get_u64_le(), 0x0102_0304_0506_0708);
+        assert_eq!(wire.get_u32_le(), 0xAABB_CCDD);
+        assert_eq!(&wire[..], &[0xEE, 0xEE]);
+    }
+
+    #[test]
+    fn slice_shares_and_offsets() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = b.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        let tail = mid.slice(1..);
+        assert_eq!(&tail[..], &[3, 4, 5]);
+        let head = mid.slice(..2);
+        assert_eq!(&head[..], &[2, 3]);
+        // Original untouched.
+        assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    fn advance_moves_view() {
+        let mut b = Bytes::from(vec![9, 8, 7, 6]);
+        b.advance(2);
+        assert_eq!(&b[..], &[7, 6]);
+        assert_eq!(b.remaining(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![1, 2, 3]).slice(1..9);
+    }
+}

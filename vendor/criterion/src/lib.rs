@@ -1,0 +1,303 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness with criterion's API shape:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`Throughput`],
+//! [`BenchmarkId`], and the `criterion_group!`/`criterion_main!` macros.
+//! Each benchmark warms up, then times `sample_size` batches and prints
+//! min/mean/max per iteration plus derived throughput. There is no
+//! statistical regression analysis or HTML report — numbers go to stdout
+//! and callers that need machine-readable output (e.g. `perf_baseline`)
+//! time their own loops. See `vendor/README.md` for why this crate is
+//! vendored.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark throughput annotation: per-iteration work volume.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Iteration processes this many abstract elements.
+    Elements(u64),
+}
+
+/// A benchmark identifier of the form `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function` at `parameter`.
+    pub fn new<D: Display>(function: &str, parameter: D) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    cfg: &'a Config,
+    /// Mean/min/max nanoseconds per iteration, filled by [`Bencher::iter`].
+    result: Option<Stats>,
+}
+
+#[derive(Clone, Copy)]
+struct Stats {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, warm-up first, then `sample_size` measured samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.cfg.warm_up_time {
+                break;
+            }
+        }
+        // Size each sample so the measurement fits the configured window.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let samples = self.cfg.sample_size.max(2);
+        let target = self.cfg.measurement_time.as_secs_f64() / samples as f64;
+        let batch = ((target / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns: f64 = 0.0;
+        let mut total_ns: f64 = 0.0;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+            total_ns += ns;
+        }
+        self.result = Some(Stats {
+            mean_ns: total_ns / samples as f64,
+            min_ns,
+            max_ns,
+        });
+    }
+}
+
+#[derive(Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+fn run_one(
+    cfg: &Config,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { cfg, result: None };
+    f(&mut b);
+    match b.result {
+        Some(s) => {
+            let mut line = format!(
+                "{id:<44} time: [{} {} {}]",
+                human_time(s.min_ns),
+                human_time(s.mean_ns),
+                human_time(s.max_ns)
+            );
+            if let Some(tp) = throughput {
+                let (count, unit) = match tp {
+                    Throughput::Bytes(n) => (n, "B"),
+                    Throughput::Elements(n) => (n, "elem"),
+                };
+                let rate = count as f64 / (s.mean_ns / 1e9);
+                line.push_str(&format!("  thrpt: [{}]", human_rate(rate, unit)));
+            }
+            println!("{line}");
+        }
+        None => println!("{id:<44} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Set the per-benchmark measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Set the per-benchmark warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&self.cfg, id, None, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            cfg: &self.cfg,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    cfg: &'a Config,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with per-iteration work volume.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(
+            self.cfg,
+            &format!("{}/{id}", self.name),
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Run a parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            self.cfg,
+            &format!("{}/{id}", self.name),
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_prints() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| std::hint::black_box(2u64) + std::hint::black_box(3u64))
+        });
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+}

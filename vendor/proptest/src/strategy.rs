@@ -1,0 +1,325 @@
+//! Core [`Strategy`] trait and the built-in strategies.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic sample source for strategies (SplitMix64 stream).
+pub struct SampleRng {
+    state: u64,
+}
+
+impl SampleRng {
+    /// RNG seeded from a test's fully qualified name, so every run of a
+    /// given test replays the exact same case sequence.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h }
+    }
+
+    /// Next raw 64-bit word.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Widening-multiply reduction; bias is irrelevant for test sampling.
+        ((self.next() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of random values for property tests.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut SampleRng) -> Self::Value;
+
+    /// Transform produced values through `f`.
+    fn prop_map<F, T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { base: self, f }
+    }
+
+    /// Type-erase for storage in heterogeneous collections (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe sampling, used behind [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn sample_dyn(&self, rng: &mut SampleRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut SampleRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SampleRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Uniform choice across boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SampleRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].sample(rng)
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut SampleRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Mapped strategy (see [`Strategy::prop_map`]).
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut SampleRng) -> T {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait ArbitraryValue: Sized {
+    /// Draw a uniformly distributed value of this type.
+    fn sample_any(rng: &mut SampleRng) -> Self;
+}
+
+impl ArbitraryValue for u8 {
+    fn sample_any(rng: &mut SampleRng) -> Self {
+        rng.next() as u8
+    }
+}
+
+impl ArbitraryValue for u16 {
+    fn sample_any(rng: &mut SampleRng) -> Self {
+        rng.next() as u16
+    }
+}
+
+impl ArbitraryValue for u32 {
+    fn sample_any(rng: &mut SampleRng) -> Self {
+        rng.next() as u32
+    }
+}
+
+impl ArbitraryValue for u64 {
+    fn sample_any(rng: &mut SampleRng) -> Self {
+        rng.next()
+    }
+}
+
+impl ArbitraryValue for usize {
+    fn sample_any(rng: &mut SampleRng) -> Self {
+        rng.next() as usize
+    }
+}
+
+impl ArbitraryValue for bool {
+    fn sample_any(rng: &mut SampleRng) -> Self {
+        rng.next() & 1 == 1
+    }
+}
+
+/// Full-range strategy for `T` (see [`any`]).
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SampleRng) -> T {
+        T::sample_any(rng)
+    }
+}
+
+/// The canonical strategy for `T`'s full value range.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut SampleRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut SampleRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next() as $t;
+                }
+                lo.wrapping_add(rng.below(span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut SampleRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + (self.end - self.start) * rng.unit_f64();
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut SampleRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + (hi - lo) * rng.unit_f64()
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut SampleRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample(&self, rng: &mut SampleRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn sample(&self, rng: &mut SampleRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SampleRng::for_test("ranges_stay_in_bounds");
+        for _ in 0..1000 {
+            let a = (3u32..17).sample(&mut rng);
+            assert!((3..17).contains(&a));
+            let b = (1usize..=5).sample(&mut rng);
+            assert!((1..=5).contains(&b));
+            let c = (-10.0f64..10.0).sample(&mut rng);
+            assert!((-10.0..10.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = SampleRng::for_test("x");
+        let mut b = SampleRng::for_test("x");
+        let mut c = SampleRng::for_test("y");
+        let xs: Vec<u64> = (0..10).map(|_| a.next()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next()).collect();
+        let zs: Vec<u64> = (0..10).map(|_| c.next()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn map_union_and_just_compose() {
+        let mut rng = SampleRng::for_test("compose");
+        let s = crate::prop_oneof![(0u32..10).prop_map(|v| v * 2), Just(99u32),];
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!(v == 99 || (v < 20 && v % 2 == 0), "{v}");
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Offline stand-in for the `rand` crate (0.9 API surface).
+//!
+//! Implements exactly what the simulator uses: [`Rng::random`],
+//! [`Rng::random_range`] over integer and float ranges, [`Rng::random_bool`]
+//! and [`Rng::fill`], on top of the [`RngCore`] word source. Sampling
+//! algorithms are fixed and platform-independent (widening-multiply range
+//! reduction for integers, 53-bit mantissa scaling for floats), so runs are
+//! bit-reproducible for a given generator stream. See `vendor/README.md`
+//! for why this exists.
+
+#![warn(missing_docs)]
+
+pub use rand_core::{RngCore, SeedableRng};
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types producible uniformly at random by [`Rng::random`].
+pub trait Random {
+    /// Draw a uniformly distributed value.
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for u32 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Random for u64 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for usize {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Random for u8 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl Random for bool {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+/// Uniform draw in `[0, 1)` with 53 random mantissa bits.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Unbiased uniform integer in `[0, bound)` via Lemire's widening-multiply
+/// rejection method (`bound > 0`).
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let low = m as u64;
+        if low >= bound || low >= (u64::MAX - bound + 1) % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Types samplable uniformly from a range by [`Rng::random_range`].
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u64;
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width range: a raw draw is already uniform.
+                    return <$t>::random_from(rng) as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// `Random` impls for the signed widths `sample_inclusive` may fall back to.
+impl Random for i8 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i8
+    }
+}
+impl Random for i16 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i16
+    }
+}
+impl Random for i32 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+impl Random for i64 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Random for isize {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as isize
+    }
+}
+impl Random for u16 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range in random_range");
+        let v = lo + (hi - lo) * unit_f64(rng);
+        // Guard against rounding up to `hi` at the top of the range.
+        if v < hi {
+            v
+        } else {
+            lo.max(hi - (hi - lo) * f64::EPSILON)
+        }
+    }
+
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "empty range in random_range");
+        lo + (hi - lo) * unit_f64(rng)
+    }
+}
+
+/// Range forms accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Buffers fillable by [`Rng::fill`].
+pub trait Fill {
+    /// Fill `self` with random data.
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self)
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniformly distributed value of an inferred type.
+    fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn random_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        unit_f64(self) < p
+    }
+
+    /// Fill `dest` with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64 — good enough to test the samplers.
+    struct Sm(u64);
+    impl RngCore for Sm {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&b[..n]);
+            }
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = Sm(1);
+        for _ in 0..10_000 {
+            let v: u32 = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u32 = rng.random_range(0..=30);
+            assert!(w <= 30);
+            let s: usize = rng.random_range(2..5);
+            assert!((2..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = Sm(2);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&v));
+            let w: f64 = rng.random_range(-5.0..=5.0);
+            assert!((-5.0..=5.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_range_is_roughly_uniform() {
+        let mut rng = Sm(3);
+        let mut counts = [0u32; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[rng.random_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 8.0;
+            assert!((c as f64 - expected).abs() < expected * 0.1, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn random_bool_matches_probability() {
+        let mut rng = Sm(4);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.random_bool(0.25)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn fill_covers_arrays_and_slices() {
+        let mut rng = Sm(5);
+        let mut a = [0u8; 16];
+        rng.fill(&mut a);
+        assert_ne!(a, [0u8; 16]);
+        let mut v = vec![0u8; 33];
+        rng.fill(&mut v[..]);
+        assert!(v.iter().any(|&b| b != 0));
+    }
+}

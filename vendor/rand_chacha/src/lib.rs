@@ -1,0 +1,222 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Implements a genuine ChaCha12 keystream generator (RFC 8439 block
+//! function with 12 rounds, 64-bit block counter, zero nonce) behind the
+//! [`ChaCha12Rng`] type the simulator uses everywhere. The keystream is a
+//! pure function of the 32-byte seed, so every simulation stream is
+//! bit-reproducible across platforms. See `vendor/README.md` for why this
+//! crate is vendored.
+
+#![warn(missing_docs)]
+
+pub use rand_core;
+
+use rand_core::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+const BLOCK_BYTES: usize = 64;
+
+/// ChaCha block function with a configurable round count.
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: usize) -> [u32; BLOCK_WORDS] {
+    // "expand 32-byte k"
+    let mut state: [u32; BLOCK_WORDS] = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let initial = state;
+
+    #[inline(always)]
+    fn quarter(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter(&mut state, 0, 4, 8, 12);
+        quarter(&mut state, 1, 5, 9, 13);
+        quarter(&mut state, 2, 6, 10, 14);
+        quarter(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter(&mut state, 0, 5, 10, 15);
+        quarter(&mut state, 1, 6, 11, 12);
+        quarter(&mut state, 2, 7, 8, 13);
+        quarter(&mut state, 3, 4, 9, 14);
+    }
+
+    for (word, init) in state.iter_mut().zip(initial.iter()) {
+        *word = word.wrapping_add(*init);
+    }
+    state
+}
+
+/// A deterministic RNG backed by the ChaCha12 stream cipher keystream.
+#[derive(Clone, Debug)]
+pub struct ChaCha12Rng {
+    key: [u32; 8],
+    /// Block counter for the *next* block to generate.
+    counter: u64,
+    buf: [u8; BLOCK_BYTES],
+    /// Bytes of `buf` already served.
+    consumed: usize,
+}
+
+impl ChaCha12Rng {
+    fn refill(&mut self) {
+        let words = chacha_block(&self.key, self.counter, 12);
+        self.counter = self.counter.wrapping_add(1);
+        for (chunk, word) in self.buf.chunks_exact_mut(4).zip(words.iter()) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        self.consumed = 0;
+    }
+
+    #[inline]
+    fn take(&mut self, n: usize) -> &[u8] {
+        debug_assert!(n <= BLOCK_BYTES);
+        if self.consumed + n > BLOCK_BYTES {
+            self.refill();
+        }
+        let start = self.consumed;
+        self.consumed += n;
+        &self.buf[start..start + n]
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Self {
+            key,
+            counter: 0,
+            buf: [0u8; BLOCK_BYTES],
+            consumed: BLOCK_BYTES,
+        }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut filled = 0;
+        while filled < dest.len() {
+            if self.consumed == BLOCK_BYTES {
+                self.refill();
+            }
+            let n = (dest.len() - filled).min(BLOCK_BYTES - self.consumed);
+            dest[filled..filled + n].copy_from_slice(&self.buf[self.consumed..self.consumed + n]);
+            self.consumed += n;
+            filled += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 test vector, adapted to 12 rounds is not published,
+    /// so verify the 20-round block function against the RFC instead — the
+    /// quarter-round and state layout are shared with the 12-round path.
+    #[test]
+    fn chacha20_block_matches_rfc8439() {
+        let key_bytes: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(key_bytes.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // RFC vector uses counter=1 with a nonce; ours is nonce-less, so
+        // check the structural property instead: block(k, c) deterministic
+        // and distinct across counters.
+        let b0 = chacha_block(&key, 0, 20);
+        let b0_again = chacha_block(&key, 0, 20);
+        let b1 = chacha_block(&key, 1, 20);
+        assert_eq!(b0, b0_again);
+        assert_ne!(b0, b1);
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = ChaCha12Rng::from_seed([7u8; 32]);
+        let mut b = ChaCha12Rng::from_seed([7u8; 32]);
+        let mut c = ChaCha12Rng::from_seed([8u8; 32]);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..100).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        let mut a = ChaCha12Rng::from_seed([3u8; 32]);
+        let mut b = ChaCha12Rng::from_seed([3u8; 32]);
+        let mut buf = [0u8; 16];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u64().to_le_bytes();
+        let w1 = b.next_u64().to_le_bytes();
+        assert_eq!(&buf[..8], &w0);
+        assert_eq!(&buf[8..], &w1);
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha12Rng::from_seed([9u8; 32]);
+        for _ in 0..37 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn seed_from_u64_works() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn odd_sized_reads_consume_whole_words() {
+        // next_u32 after next_u64 keeps alignment within the 64-byte block.
+        let mut a = ChaCha12Rng::from_seed([1u8; 32]);
+        for _ in 0..1000 {
+            a.next_u32();
+            a.next_u64();
+        }
+        // 1000 * 12 bytes = 12000 bytes; just ensure no panic and stream advances.
+        assert!(a.counter > 0);
+    }
+}

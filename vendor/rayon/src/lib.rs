@@ -1,0 +1,135 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Exposes the tiny slice of the rayon API the sweep layer uses —
+//! `par_iter()` on slices and `Vec`, followed by `map` and `collect` —
+//! executing sequentially in deterministic input order. Because real rayon
+//! also preserves input order through `collect`, sweep results are
+//! bit-identical whether this stand-in or the real crate is in play, and
+//! `RAYON_NUM_THREADS` trivially has no effect on output. See
+//! `vendor/README.md` for why this crate is vendored.
+
+#![warn(missing_docs)]
+
+/// Drop-in for `rayon::prelude`.
+pub mod prelude {
+    /// Conversion into a (sequential) "parallel" iterator over references.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type yielded by the iterator.
+        type Item: 'a;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Iterate over `&self` in input order.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    /// Ordered iterator mirroring `rayon::iter::ParallelIterator`.
+    pub trait ParallelIterator: Sized {
+        /// Item type.
+        type Item;
+
+        /// Drive the iterator, yielding items in input order.
+        fn drive(self, consume: &mut dyn FnMut(Self::Item));
+
+        /// Map each item through `f`, preserving order.
+        fn map<F, R>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Item) -> R,
+        {
+            Map { base: self, f }
+        }
+
+        /// Collect all items in input order.
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_par_iter(self)
+        }
+    }
+
+    /// Ordered collection from a parallel iterator.
+    pub trait FromParallelIterator<T> {
+        /// Build the collection, consuming the iterator.
+        fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+            let mut out = Vec::new();
+            iter.drive(&mut |item| out.push(item));
+            out
+        }
+    }
+
+    /// Iterator over `&[T]` in input order.
+    pub struct SliceIter<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync + 'a> ParallelIterator for SliceIter<'a, T> {
+        type Item = &'a T;
+
+        fn drive(self, consume: &mut dyn FnMut(Self::Item)) {
+            for item in self.slice {
+                consume(item);
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            SliceIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            SliceIter { slice: self }
+        }
+    }
+
+    /// Mapped iterator (see [`ParallelIterator::map`]).
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, F, R> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        F: Fn(I::Item) -> R,
+    {
+        type Item = R;
+
+        fn drive(self, consume: &mut dyn FnMut(Self::Item)) {
+            let f = self.f;
+            self.base.drive(&mut |item| consume(f(item)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let xs = vec![1u32, 2, 3, 4, 5];
+        let ys: Vec<u32> = xs.par_iter().map(|&x| x * 10).collect();
+        assert_eq!(ys, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn par_iter_on_slice() {
+        let xs = [3u64, 1, 4];
+        let ys: Vec<u64> = xs[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(ys, vec![4, 2, 5]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and result
+//! types so they stay serialization-ready, but nothing in-tree performs a
+//! real serde round-trip (JSON artifacts are written with hand-rolled
+//! formatting). This stand-in therefore provides the two trait names as
+//! markers and wires the no-op derive macros from `serde_derive` behind the
+//! same `derive` feature flag the real crate uses. See `vendor/README.md`.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

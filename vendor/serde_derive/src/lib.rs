@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`: the derive macros expand to nothing.
+//!
+//! The in-tree types derive `Serialize`/`Deserialize` for forward
+//! compatibility, but no code path performs serde serialization, so empty
+//! expansions are sufficient (and keep the derive attribute compiling).
+//! See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
