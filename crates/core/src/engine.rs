@@ -19,6 +19,9 @@
 //! heap-based [`simcore::Simulator`] drives the BP sequence itself, which
 //! keeps the time bookkeeping honest (monotone, horizon-checked).
 
+use crate::instrument::{
+    BpView, DeliveryCtx, DeliveryFate, DeliveryObs, EngineHook, FaultAction, NodeSnapshot, NoopHook,
+};
 use crate::scenario::{ProtocolKind, ScenarioConfig, TopologySpec};
 use attacks::{AttackWindow, FastBeaconAttacker};
 use clocks::Oscillator;
@@ -244,6 +247,16 @@ impl Network {
 
     /// Run the scenario to completion.
     pub fn run(self) -> RunResult {
+        self.run_with_hook(&mut NoopHook)
+    }
+
+    /// Run the scenario with an [`EngineHook`] attached (fault injection,
+    /// invariant checking). Running with [`NoopHook`] — or any hook that
+    /// neither drops nor mutates deliveries nor emits fault actions — is
+    /// bit-identical to [`Network::run`]: the hook only ever sees copies,
+    /// and no engine RNG stream is consulted on its behalf.
+    pub fn run_with_hook(self, hook: &mut dyn EngineHook) -> RunResult {
+        let active = hook.active();
         let pcfg: ProtocolConfig = self.scenario.protocol_config.clone();
         let bp = SimDuration::from_us_f64(pcfg.bp_us);
         let total_bps = self.scenario.total_bps();
@@ -297,7 +310,7 @@ impl Network {
             window,
             mut channel,
             mut nodes,
-            oscs,
+            mut oscs,
             mut present,
             honest,
             mut proto_rngs,
@@ -317,13 +330,40 @@ impl Network {
             let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
             nodes[id as usize].init(&mut ctx);
         }
+        hook.on_run_start(&scenario, &anchors);
+
+        // Fault-layer state: actions collected at each BP start, and the
+        // fault-layer jamming flag OR-ed with the scenario's jam windows.
+        let mut fault_actions: Vec<FaultAction> = Vec::new();
+        let mut fault_jam = false;
+        let mut snapshots: Vec<NodeSnapshot> =
+            Vec::with_capacity(if active { scenario.n_nodes as usize } else { 0 });
 
         let mut sim: Simulator<u64> = Simulator::new(horizon);
+        if active {
+            // Instrumented runs also cross-check simcore's event ordering
+            // from the outside via the probe hook.
+            let mut last = SimTime::ZERO;
+            sim.set_probe(Box::new(move |t, _| {
+                assert!(t >= last, "simulator delivered events out of order");
+                last = t;
+            }));
+        }
         sim.schedule_at(SimTime::ZERO + bp, 1u64);
 
         sim.run(|sim, ev| {
             let k: u64 = ev.payload;
             let t0 = ev.time;
+
+            // Anything that perturbs the network this BP (churn, departures,
+            // jamming, attacker activity, fault injections, reference
+            // changes); convergence invariants suspend after disturbances.
+            let mut disturbed = false;
+
+            if active {
+                fault_actions.clear();
+                hook.on_bp_start(k, t0, &mut fault_actions);
+            }
 
             // --- Churn & reference departures -------------------------
             returns.retain(|&(due, id)| {
@@ -332,6 +372,7 @@ impl Network {
                     let local = oscs[id as usize].local_us(t0);
                     let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
                     nodes[id as usize].on_join(&mut ctx);
+                    disturbed = true;
                     false
                 } else {
                     true
@@ -360,6 +401,7 @@ impl Network {
                     nodes[id as usize].on_leave(&mut ctx);
                     returns.push((k + churn_absence_bps, id));
                 }
+                disturbed |= quota > 0;
             }
             if ref_leave_bps.contains(&k) {
                 if let Some(id) = (0..scenario.n_nodes)
@@ -370,17 +412,66 @@ impl Network {
                     let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
                     nodes[id as usize].on_leave(&mut ctx);
                     returns.push((k + ref_absence_bps, id));
+                    disturbed = true;
+                }
+            }
+
+            // --- Fault injection --------------------------------------
+            // Applied after churn so a fault plan targeting the reference
+            // sees the network exactly as the scenario left it this BP.
+            for &action in fault_actions.iter() {
+                disturbed = true;
+                match action {
+                    FaultAction::Crash {
+                        node,
+                        rejoin_after_bps,
+                    } => {
+                        if present[node as usize] {
+                            present[node as usize] = false;
+                            let local = oscs[node as usize].local_us(t0);
+                            let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, node, local);
+                            nodes[node as usize].on_leave(&mut ctx);
+                            if let Some(r) = rejoin_after_bps {
+                                returns.push((k + r.max(1), node));
+                            }
+                        }
+                    }
+                    FaultAction::KillReference { rejoin_after_bps } => {
+                        if let Some(id) = (0..scenario.n_nodes)
+                            .find(|&id| present[id as usize] && nodes[id as usize].is_reference())
+                        {
+                            present[id as usize] = false;
+                            let local = oscs[id as usize].local_us(t0);
+                            let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
+                            nodes[id as usize].on_leave(&mut ctx);
+                            if let Some(r) = rejoin_after_bps {
+                                returns.push((k + r.max(1), id));
+                            }
+                        }
+                    }
+                    FaultAction::ClockStep { node, delta_us } => {
+                        oscs[node as usize].step_by(delta_us)
+                    }
+                    FaultAction::ClockFreeze { node } => oscs[node as usize].freeze(t0),
+                    FaultAction::ClockUnfreeze { node } => oscs[node as usize].unfreeze(t0),
+                    FaultAction::SetBurstLoss(p) => channel.set_burst_loss(p),
+                    FaultAction::SetJammed(on) => fault_jam = on,
                 }
             }
 
             // --- Jamming ----------------------------------------------
             let t_secs = t0.as_secs_f64();
             channel.set_jammed(
-                scenario
-                    .jam_windows
-                    .iter()
-                    .any(|w| t_secs >= w.start_s && t_secs < w.end_s),
+                fault_jam
+                    || scenario
+                        .jam_windows
+                        .iter()
+                        .any(|w| t_secs >= w.start_s && t_secs < w.end_s),
             );
+            disturbed |= channel.is_jammed();
+            if let Some(a) = scenario.attacker {
+                disturbed |= t_secs >= a.start_s && t_secs < a.end_s;
+            }
 
             // --- Beacon generation window -----------------------------
             match &topology {
@@ -454,6 +545,22 @@ impl Network {
                                 if channel.deliver(&mut chan_rng) == Delivery::Lost {
                                     continue;
                                 }
+                                // Each receiver processes its own copy: a
+                                // corruption fault at one receiver models
+                                // that receiver's demodulation errors, not
+                                // a change to the transmitted frame.
+                                let mut payload = beacon;
+                                let dctx = DeliveryCtx {
+                                    bp: k,
+                                    src: winner,
+                                    dst: id,
+                                    t_rx,
+                                };
+                                if active
+                                    && hook.on_delivery(&dctx, &mut payload) == DeliveryFate::Drop
+                                {
+                                    continue;
+                                }
                                 // Receiver-side timestamping noise: each
                                 // station stamps the arrival with its own
                                 // hardware path, contributing (with the
@@ -462,15 +569,38 @@ impl Network {
                                 let rx_jitter =
                                     jitter_rng.random_range(0.0..=scenario.timestamp_jitter_us);
                                 let local_rx = oscs[id as usize].local_us(t_rx) + rx_jitter;
-                                let mut ctx =
-                                    node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local_rx);
-                                nodes[id as usize].on_beacon(
-                                    &mut ctx,
-                                    ReceivedBeacon {
-                                        payload: beacon,
+                                let (clock_before, ref_before, stats_before) = if active {
+                                    (
+                                        nodes[id as usize].clock_us(local_rx),
+                                        nodes[id as usize].current_reference(),
+                                        nodes[id as usize].sstsp_stats(),
+                                    )
+                                } else {
+                                    (0.0, None, None)
+                                };
+                                {
+                                    let mut ctx =
+                                        node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local_rx);
+                                    nodes[id as usize].on_beacon(
+                                        &mut ctx,
+                                        ReceivedBeacon {
+                                            payload,
+                                            local_rx_us: local_rx,
+                                        },
+                                    );
+                                }
+                                if active {
+                                    hook.post_delivery(&DeliveryObs {
+                                        ctx: dctx,
+                                        payload: &payload,
                                         local_rx_us: local_rx,
-                                    },
-                                );
+                                        clock_before_us: clock_before,
+                                        ref_before,
+                                        stats_before,
+                                        stats_after: nodes[id as usize].sstsp_stats(),
+                                        anchors: &anchors,
+                                    });
+                                }
                             }
                         }
                     }
@@ -566,24 +696,60 @@ impl Network {
                             if channel.deliver(&mut chan_rng) == Delivery::Lost {
                                 continue;
                             }
-                            let payload = scratch.payloads[d.tx as usize]
+                            let mut payload = scratch.payloads[d.tx as usize]
                                 .expect("every delivery has a transmitter");
+                            // Airtime is that of the transmitted frame; a
+                            // hook corrupting the receiver's copy does not
+                            // change when the energy left the channel.
                             let t_rx = t0
                                 + window.delay_of(d.slot)
                                 + phy.beacon_airtime(payload.is_secured())
                                 + phy.propagation();
+                            let dctx = DeliveryCtx {
+                                bp: k,
+                                src: d.tx,
+                                dst: d.rx,
+                                t_rx,
+                            };
+                            if active && hook.on_delivery(&dctx, &mut payload) == DeliveryFate::Drop
+                            {
+                                continue;
+                            }
                             let rx_jitter =
                                 jitter_rng.random_range(0.0..=scenario.timestamp_jitter_us);
                             let local_rx = oscs[d.rx as usize].local_us(t_rx) + rx_jitter;
-                            let mut ctx =
-                                node_ctx!(proto_rngs, &mut anchors, &pcfg, d.rx, local_rx);
-                            nodes[d.rx as usize].on_beacon(
-                                &mut ctx,
-                                ReceivedBeacon {
-                                    payload,
+                            let (clock_before, ref_before, stats_before) = if active {
+                                (
+                                    nodes[d.rx as usize].clock_us(local_rx),
+                                    nodes[d.rx as usize].current_reference(),
+                                    nodes[d.rx as usize].sstsp_stats(),
+                                )
+                            } else {
+                                (0.0, None, None)
+                            };
+                            {
+                                let mut ctx =
+                                    node_ctx!(proto_rngs, &mut anchors, &pcfg, d.rx, local_rx);
+                                nodes[d.rx as usize].on_beacon(
+                                    &mut ctx,
+                                    ReceivedBeacon {
+                                        payload,
+                                        local_rx_us: local_rx,
+                                    },
+                                );
+                            }
+                            if active {
+                                hook.post_delivery(&DeliveryObs {
+                                    ctx: dctx,
+                                    payload: &payload,
                                     local_rx_us: local_rx,
-                                },
-                            );
+                                    clock_before_us: clock_before,
+                                    ref_before,
+                                    stats_before,
+                                    stats_after: nodes[d.rx as usize].sstsp_stats(),
+                                    anchors: &anchors,
+                                });
+                            }
                         }
                     }
                 }
@@ -618,6 +784,7 @@ impl Network {
                     reference_changes += 1;
                 }
                 last_reference = current_ref;
+                disturbed = true;
             }
             if let Some(atk) = attacker_id {
                 if current_ref == Some(atk) {
@@ -636,6 +803,28 @@ impl Network {
                 if honest_present > 0 && followers * 2 > honest_present {
                     attacker_became_reference = true;
                 }
+            }
+
+            if active {
+                snapshots.clear();
+                for i in 0..scenario.n_nodes as usize {
+                    snapshots.push(NodeSnapshot {
+                        id: i as NodeId,
+                        present: present[i],
+                        honest: honest[i],
+                        synchronized: nodes[i].is_synchronized(),
+                        is_reference: present[i] && nodes[i].is_reference(),
+                        clock_us: nodes[i].clock_us(oscs[i].local_us(t_end)),
+                        stats: nodes[i].sstsp_stats(),
+                    });
+                }
+                hook.on_bp_end(&BpView {
+                    bp: k,
+                    t_end,
+                    nodes: &snapshots,
+                    reference: current_ref,
+                    disturbed,
+                });
             }
 
             if k < total_bps {
@@ -705,7 +894,7 @@ impl Network {
         let sync_latency_s = criterion.latency(tracker.series()).map(|t| t.as_secs_f64());
         let steady_error_us = criterion.steady_state_error(tracker.series());
         let peak = tracker.peak();
-        RunResult {
+        let result = RunResult {
             spread: tracker.into_series(),
             sync_latency_s,
             steady_error_us,
@@ -725,7 +914,9 @@ impl Network {
             protocol: scenario.protocol.name(),
             n_nodes: scenario.n_nodes,
             seed: scenario.seed,
-        }
+        };
+        hook.on_run_end(&result);
+        result
     }
 }
 

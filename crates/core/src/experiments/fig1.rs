@@ -6,7 +6,8 @@
 //! timing information almost entirely.
 
 use super::Fidelity;
-use crate::engine::{Network, RunResult};
+use crate::engine::RunResult;
+use crate::invariants::run_checked;
 use crate::report::render_series_chart;
 use crate::scenario::ProtocolKind;
 use rayon::prelude::*;
@@ -26,7 +27,7 @@ pub fn run(fid: Fidelity, seed: u64) -> Fig1 {
         .par_iter()
         .map(|&n| {
             let cfg = super::scaled_paper_scenario(ProtocolKind::Tsf, n, fid, seed);
-            Network::build(&cfg).run()
+            run_checked(&cfg)
         })
         .collect();
     Fig1 { runs }

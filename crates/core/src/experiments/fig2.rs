@@ -5,7 +5,8 @@
 //! reference node leaves (300 s, 500 s, 800 s) and 5 % churn every 200 s.
 
 use super::Fidelity;
-use crate::engine::{Network, RunResult};
+use crate::engine::RunResult;
+use crate::invariants::run_checked;
 use crate::report::render_series_chart;
 use crate::scenario::ProtocolKind;
 use simcore::SimTime;
@@ -24,7 +25,7 @@ pub struct Fig2 {
 pub fn run(fid: Fidelity, seed: u64) -> Fig2 {
     let cfg = super::scaled_paper_scenario(ProtocolKind::Sstsp, 500, fid, seed).with_m(4);
     let duration_s = cfg.duration_s;
-    let run = Network::build(&cfg).run();
+    let run = run_checked(&cfg);
     // "After the protocol stabilizes": measure the window between the last
     // two disturbances (ref departures / churn) — the tail after the final
     // churn-return completes.

@@ -8,7 +8,8 @@
 //! at their native rates. The paper reports the error rising to ~2·10⁴ µs.
 
 use super::Fidelity;
-use crate::engine::{Network, RunResult};
+use crate::engine::RunResult;
+use crate::invariants::run_checked;
 use crate::report::render_series_chart;
 use crate::scenario::ProtocolKind;
 use simcore::SimTime;
@@ -38,7 +39,7 @@ pub fn run(fid: Fidelity, seed: u64) -> Fig3 {
     // The paper's Fig. 3 isolates the attack effect on TSF (no reference
     // role exists in TSF anyway).
     cfg.ref_leaves_s.clear();
-    let run = Network::build(&cfg).run();
+    let run = run_checked(&cfg);
     let peak_during = run
         .spread
         .max_in(

@@ -9,7 +9,8 @@
 //! the attacker cannot desynchronize the network.
 
 use super::Fidelity;
-use crate::engine::{Network, RunResult};
+use crate::engine::RunResult;
+use crate::invariants::run_checked;
 use crate::report::render_series_chart;
 use crate::scenario::ProtocolKind;
 use simcore::SimTime;
@@ -37,7 +38,7 @@ pub fn run(fid: Fidelity, seed: u64) -> Fig4 {
         // Crafted to pass the guard check (δ = 50 µs by default).
         error_us: 30.0,
     });
-    let run = Network::build(&cfg).run();
+    let run = run_checked(&cfg);
     // Skip the initial election/convergence transient when measuring the
     // pre-attack baseline.
     let settle = fid.secs(50.0);

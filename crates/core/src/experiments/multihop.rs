@@ -12,7 +12,8 @@
 //! scaling) while staying far below the free-running drift.
 
 use super::Fidelity;
-use crate::engine::{Network, RunResult};
+use crate::engine::RunResult;
+use crate::invariants::run_checked;
 use crate::report::render_table;
 use crate::scenario::{ProtocolKind, ScenarioConfig, TopologySpec};
 use simcore::SimTime;
@@ -90,14 +91,14 @@ pub fn run(fid: Fidelity, seed: u64) -> Multihop {
         .with_l(3)
         .with_m(6);
     line_cfg.topology = Some(TopologySpec::Line);
-    let line = Network::build(&line_cfg).run();
+    let line = run_checked(&line_cfg);
 
     // A 5×5 grid: diameter 8 with route diversity.
     let mut grid_cfg = ScenarioConfig::new(ProtocolKind::Sstsp, 25, duration, seed)
         .with_l(3)
         .with_m(6);
     grid_cfg.topology = Some(TopologySpec::Grid { cols: 5, rows: 5 });
-    let grid = Network::build(&grid_cfg).run();
+    let grid = run_checked(&grid_cfg);
 
     let line_hops = hop_rows(&line);
     let steady_us = (steady(&line, duration), steady(&grid, duration));

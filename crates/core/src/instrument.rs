@@ -1,0 +1,204 @@
+//! Engine instrumentation: the hook surface the fault-injection and
+//! invariant-checking layers attach to.
+//!
+//! The engine itself stays policy-free: it exposes *where* faults can act
+//! (BP boundaries, individual beacon deliveries) and *what* can be observed
+//! (per-delivery protocol state deltas, per-BP node snapshots), while the
+//! `faults` crate supplies the schedules and the [`crate::invariants`]
+//! module the checks. A [`NoopHook`] run is bit-identical to an uninstrumented
+//! one: hooks receive copies and deltas, never mutable engine internals, and
+//! every fault-layer random decision comes from the hook's own RNG stream —
+//! the engine's streams are never touched.
+
+use crate::scenario::ScenarioConfig;
+use protocols::api::{AnchorRegistry, BeaconPayload, NodeId};
+use protocols::sstsp::SstspStats;
+use simcore::SimTime;
+
+/// A state change the engine applies on behalf of a fault plan at the start
+/// of a beacon period. Actions are the only way a hook mutates the network;
+/// they model physical faults (crashed hardware, glitched oscillators,
+/// interference), not protocol-level behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Crash a station: it leaves the network immediately and, if
+    /// `rejoin_after_bps` is set, reboots and rejoins that many BPs later
+    /// (through the protocol's normal join path).
+    Crash {
+        /// Station to crash.
+        node: NodeId,
+        /// BPs until reboot; `None` = permanent.
+        rejoin_after_bps: Option<u64>,
+    },
+    /// Crash whichever station currently holds the reference role (no-op
+    /// if none does).
+    KillReference {
+        /// BPs until reboot; `None` = permanent.
+        rejoin_after_bps: Option<u64>,
+    },
+    /// Step a station's hardware clock by `delta_us` (register glitch,
+    /// brown-out losing ticks).
+    ClockStep {
+        /// Affected station.
+        node: NodeId,
+        /// Signed step in microseconds.
+        delta_us: f64,
+    },
+    /// Freeze a station's hardware clock at its current reading.
+    ClockFreeze {
+        /// Affected station.
+        node: NodeId,
+    },
+    /// Release a previous freeze; the clock resumes from the frozen value.
+    ClockUnfreeze {
+        /// Affected station.
+        node: NodeId,
+    },
+    /// Set the channel's burst-loss probability (0 clears it).
+    SetBurstLoss(f64),
+    /// Engage (`true`) or release (`false`) fault-layer jamming, OR-ed with
+    /// the scenario's own jam windows.
+    SetJammed(bool),
+}
+
+/// What a hook decides about one beacon delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryFate {
+    /// Deliver the (possibly mutated) payload to the receiver.
+    Deliver,
+    /// Drop the beacon at this receiver (targeted loss).
+    Drop,
+}
+
+/// Identifies one beacon delivery before it reaches the receiver.
+#[derive(Debug, Clone, Copy)]
+pub struct DeliveryCtx {
+    /// Beacon period index (1-based).
+    pub bp: u64,
+    /// Transmitting station.
+    pub src: NodeId,
+    /// Receiving station.
+    pub dst: NodeId,
+    /// Simulated reception instant.
+    pub t_rx: SimTime,
+}
+
+/// Everything observable about one completed beacon delivery: the payload
+/// as received (after any hook mutation), the receiver's state immediately
+/// before the protocol processed it, and its diagnostic counters before and
+/// after — the deltas reveal whether the beacon was accepted.
+pub struct DeliveryObs<'a> {
+    /// Delivery identification (same values the pre-hook saw).
+    pub ctx: DeliveryCtx,
+    /// The payload the receiver processed.
+    pub payload: &'a BeaconPayload,
+    /// Receiver's local (hardware) timestamp of the reception.
+    pub local_rx_us: f64,
+    /// Receiver's adjusted clock evaluated at the reception instant,
+    /// *before* processing — the exact value protocol checks ran against.
+    pub clock_before_us: f64,
+    /// Receiver's upstream reference before processing.
+    pub ref_before: Option<NodeId>,
+    /// SSTSP diagnostic counters before processing (`None` for protocols
+    /// without them).
+    pub stats_before: Option<SstspStats>,
+    /// The same counters after processing.
+    pub stats_after: Option<SstspStats>,
+    /// The published µTESLA anchor registry (first-write-wins, so entries
+    /// are exactly what honest verifiers saw).
+    pub anchors: &'a AnchorRegistry,
+}
+
+impl DeliveryObs<'_> {
+    /// Whether the receiver admitted the beacon (passed every protocol
+    /// check). Only meaningful for protocols exposing stats; others return
+    /// `false`.
+    pub fn accepted(&self) -> bool {
+        match (self.stats_before, self.stats_after) {
+            (Some(b), Some(a)) => a.accepted > b.accepted,
+            _ => false,
+        }
+    }
+}
+
+/// Per-station snapshot taken at the end of each beacon period.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeSnapshot {
+    /// Station id.
+    pub id: NodeId,
+    /// Present in the network (not churned out / crashed).
+    pub present: bool,
+    /// Honest (not the scenario's attacker).
+    pub honest: bool,
+    /// Protocol-reported synchronization state.
+    pub synchronized: bool,
+    /// Whether the station holds the reference role.
+    pub is_reference: bool,
+    /// Adjusted clock at the BP-end sampling instant (µs).
+    pub clock_us: f64,
+    /// SSTSP diagnostic counters (`None` for other protocols).
+    pub stats: Option<SstspStats>,
+}
+
+/// End-of-BP view handed to hooks after metrics sampling.
+pub struct BpView<'a> {
+    /// Beacon period index (1-based).
+    pub bp: u64,
+    /// The BP-end sampling instant.
+    pub t_end: SimTime,
+    /// One snapshot per station (indexed by id).
+    pub nodes: &'a [NodeSnapshot],
+    /// Station holding the reference role, if any.
+    pub reference: Option<NodeId>,
+    /// Whether the engine disturbed the network this BP (churn, reference
+    /// departure, jamming, a reference change, an active attacker window,
+    /// or any fault action) — convergence-style invariants suspend
+    /// themselves for a settle window after disturbances.
+    pub disturbed: bool,
+}
+
+/// Observer/actor attached to a [`crate::engine::Network`] run.
+///
+/// All methods have no-op defaults; implementors override what they need.
+/// The engine calls them in a fixed order per BP: `on_bp_start` (collect
+/// fault actions) → `on_delivery`/`post_delivery` per beacon delivery →
+/// `on_bp_end` after metrics.
+pub trait EngineHook {
+    /// Whether the hook wants per-delivery observations and BP views. The
+    /// engine skips snapshot assembly entirely when `false`, keeping the
+    /// uninstrumented hot path allocation- and virtual-call-free.
+    fn active(&self) -> bool {
+        true
+    }
+
+    /// Called once after node initiation (anchors published), before BP 1.
+    fn on_run_start(&mut self, _scenario: &ScenarioConfig, _anchors: &AnchorRegistry) {}
+
+    /// Called at the start of each BP; push [`FaultAction`]s into `actions`
+    /// to mutate the network. Applied in order, before the beacon window.
+    fn on_bp_start(&mut self, _bp: u64, _t0: SimTime, _actions: &mut Vec<FaultAction>) {}
+
+    /// Called for each beacon delivery before the receiver processes it.
+    /// The hook may mutate the payload (corruption faults) or drop it.
+    fn on_delivery(&mut self, _ctx: &DeliveryCtx, _payload: &mut BeaconPayload) -> DeliveryFate {
+        DeliveryFate::Deliver
+    }
+
+    /// Called after the receiver processed a delivered beacon.
+    fn post_delivery(&mut self, _obs: &DeliveryObs<'_>) {}
+
+    /// Called at the end of each BP with per-station snapshots.
+    fn on_bp_end(&mut self, _view: &BpView<'_>) {}
+
+    /// Called once after the run loop with the aggregated result.
+    fn on_run_end(&mut self, _result: &crate::engine::RunResult) {}
+}
+
+/// The do-nothing hook driving uninstrumented runs.
+pub struct NoopHook;
+
+impl EngineHook for NoopHook {
+    fn active(&self) -> bool {
+        false
+    }
+}

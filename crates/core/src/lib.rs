@@ -9,6 +9,11 @@
 //! * [`engine`] — the network simulation engine: drives every node through
 //!   beacon periods on the shared single-collision-domain channel, applies
 //!   churn and attacks, and records the maximum-clock-difference series;
+//! * [`instrument`] — the engine hook surface: fault-injection layers and
+//!   invariant checkers attach to runs without perturbing them;
+//! * [`invariants`] — the protocol invariant checker evaluated every beacon
+//!   period (clock monotonicity, guard influence bound, µTESLA key
+//!   freshness, synced-set spread bound);
 //! * [`experiments`] — one module per table/figure of the paper, each
 //!   producing the exact rows/series the paper reports;
 //! * [`sweep`] — rayon-parallel seed and parameter sweeps (deterministic
@@ -33,9 +38,13 @@
 
 pub mod engine;
 pub mod experiments;
+pub mod instrument;
+pub mod invariants;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
 
 pub use engine::{Network, RunResult};
+pub use instrument::{EngineHook, NoopHook};
+pub use invariants::{run_checked, InvariantChecker, Violation};
 pub use scenario::{AttackerSpec, ChurnConfig, ProtocolKind, ScenarioConfig};

@@ -5,28 +5,29 @@
 //! bit-reproducible regardless of thread count (the hpc-parallel
 //! data-parallelism discipline: never share mutable state across runs).
 
-use crate::engine::{Network, RunResult};
+use crate::engine::RunResult;
+use crate::invariants::run_checked;
 use crate::scenario::ScenarioConfig;
 use rayon::prelude::*;
 
-/// Run `base` once per seed, in parallel.
+/// Run `base` once per seed, in parallel. Every run carries the invariant
+/// checker ([`run_checked`]): a violation in any experiment path panics the
+/// sweep instead of silently producing numbers from a broken trajectory.
 pub fn run_seeds(base: &ScenarioConfig, seeds: &[u64]) -> Vec<RunResult> {
     seeds
         .par_iter()
         .map(|&seed| {
             let mut cfg = base.clone();
             cfg.seed = seed;
-            Network::build(&cfg).run()
+            run_checked(&cfg)
         })
         .collect()
 }
 
-/// Run each scenario in parallel (parameter sweeps: one config per point).
+/// Run each scenario in parallel (parameter sweeps: one config per point),
+/// invariant-checked like [`run_seeds`].
 pub fn run_configs(configs: &[ScenarioConfig]) -> Vec<RunResult> {
-    configs
-        .par_iter()
-        .map(|cfg| Network::build(cfg).run())
-        .collect()
+    configs.par_iter().map(run_checked).collect()
 }
 
 /// Mean of an optional per-run metric, ignoring runs where it is absent.

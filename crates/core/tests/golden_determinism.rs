@@ -15,7 +15,8 @@
 //!
 //! and paste the printed table over `GOLDENS`.
 
-use sstsp::{Network, ProtocolKind, ScenarioConfig};
+use sstsp::scenario::TopologySpec;
+use sstsp::{InvariantChecker, Network, NoopHook, ProtocolKind, ScenarioConfig};
 
 const N_NODES: u32 = 8;
 const DURATION_S: f64 = 12.0;
@@ -51,15 +52,43 @@ const GOLDENS: [Golden; 7] = [
     (ProtocolKind::Sstsp, 218.49740660958923, Some(1.299999), Some(21.849832239560783), 118, 0, 2, 1, 0, 0, 812, Some(5)),
 ];
 
+/// The engine-path variants pinned beyond the single-hop defaults:
+/// a 12-station line topology (multi-hop relay path) and the reference-
+/// change ablation path (reference leaves mid-run, l-window re-election).
+#[rustfmt::skip]
+const GOLDEN_MULTIHOP: Golden =
+    (ProtocolKind::Sstsp, 1469.1320865955204, None, None, 858, 310, 12, 2, 0, 0, 891, Some(1));
+#[rustfmt::skip]
+const GOLDEN_ABLATION: Golden =
+    (ProtocolKind::Sstsp, 229.77093229838647, Some(1.399999), Some(22.890236074104905), 114, 0, 6, 2, 0, 0, 714, Some(2));
+
 fn run(kind: ProtocolKind) -> sstsp::RunResult {
     let cfg = ScenarioConfig::new(kind, N_NODES, DURATION_S, SEED);
     Network::build(&cfg).run()
 }
 
-#[test]
-fn fixed_seed_runs_match_recorded_goldens() {
-    for &(
-        kind,
+/// 12-station line, the multihop experiment's hardest per-hop case at
+/// quick-fidelity scale.
+fn multihop_cfg() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::new(ProtocolKind::Sstsp, 12, DURATION_S, SEED)
+        .with_l(3)
+        .with_m(6);
+    cfg.topology = Some(TopologySpec::Line);
+    cfg
+}
+
+/// Reference-change ablation shape: the elected reference leaves mid-run.
+fn ablation_cfg() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::new(ProtocolKind::Sstsp, N_NODES, DURATION_S, SEED)
+        .with_m(4)
+        .with_l(2);
+    cfg.ref_leaves_s = vec![6.0];
+    cfg
+}
+
+fn assert_golden(r: &sstsp::RunResult, g: &Golden, name: &str) {
+    let &(
+        _,
         peak,
         latency,
         steady,
@@ -71,24 +100,67 @@ fn fixed_seed_runs_match_recorded_goldens() {
         mutesla,
         retargets,
         final_ref,
-    ) in &GOLDENS
-    {
-        let r = run(kind);
-        let name = kind.name();
-        assert_eq!(r.peak_spread_us, peak, "{name}: peak_spread_us");
-        assert_eq!(r.sync_latency_s, latency, "{name}: sync_latency_s");
-        assert_eq!(r.steady_error_us, steady, "{name}: steady_error_us");
-        assert_eq!(r.tx_successes, successes, "{name}: tx_successes");
-        assert_eq!(r.tx_collisions, collisions, "{name}: tx_collisions");
-        assert_eq!(r.silent_windows, silent, "{name}: silent_windows");
-        assert_eq!(
-            r.reference_changes, ref_changes,
-            "{name}: reference_changes"
+    ) = g;
+    assert_eq!(r.peak_spread_us, peak, "{name}: peak_spread_us");
+    assert_eq!(r.sync_latency_s, latency, "{name}: sync_latency_s");
+    assert_eq!(r.steady_error_us, steady, "{name}: steady_error_us");
+    assert_eq!(r.tx_successes, successes, "{name}: tx_successes");
+    assert_eq!(r.tx_collisions, collisions, "{name}: tx_collisions");
+    assert_eq!(r.silent_windows, silent, "{name}: silent_windows");
+    assert_eq!(
+        r.reference_changes, ref_changes,
+        "{name}: reference_changes"
+    );
+    assert_eq!(r.guard_rejections, guard, "{name}: guard_rejections");
+    assert_eq!(r.mutesla_rejections, mutesla, "{name}: mutesla_rejections");
+    assert_eq!(r.retargets, retargets, "{name}: retargets");
+    assert_eq!(r.final_reference, final_ref, "{name}: final_reference");
+}
+
+#[test]
+fn fixed_seed_runs_match_recorded_goldens() {
+    for golden in &GOLDENS {
+        let r = run(golden.0);
+        assert_golden(&r, golden, golden.0.name());
+    }
+}
+
+#[test]
+fn fixed_seed_multihop_and_ablation_match_recorded_goldens() {
+    let r = Network::build(&multihop_cfg()).run();
+    assert_golden(&r, &GOLDEN_MULTIHOP, "multihop-line");
+    let r = Network::build(&ablation_cfg()).run();
+    assert_golden(&r, &GOLDEN_ABLATION, "ablation-refchange");
+}
+
+/// Hook transparency: attaching a hook — whether the inert [`NoopHook`] or
+/// the passively observing [`InvariantChecker`] — must leave the run
+/// bit-identical to the plain path. This is what lets every experiment run
+/// invariant-checked while the goldens above stay valid.
+#[test]
+fn hooked_runs_are_bit_identical_to_plain_runs() {
+    for cfg in [
+        ScenarioConfig::new(ProtocolKind::Sstsp, N_NODES, DURATION_S, SEED),
+        multihop_cfg(),
+        ablation_cfg(),
+    ] {
+        let plain = Network::build(&cfg).run();
+        let noop = Network::build(&cfg).run_with_hook(&mut NoopHook);
+        let mut checker = InvariantChecker::for_scenario(&cfg);
+        let checked = Network::build(&cfg).run_with_hook(&mut checker);
+        assert!(
+            checker.violations().is_empty(),
+            "default scenario must be violation-free: {:?}",
+            checker.violations()
         );
-        assert_eq!(r.guard_rejections, guard, "{name}: guard_rejections");
-        assert_eq!(r.mutesla_rejections, mutesla, "{name}: mutesla_rejections");
-        assert_eq!(r.retargets, retargets, "{name}: retargets");
-        assert_eq!(r.final_reference, final_ref, "{name}: final_reference");
+        for hooked in [&noop, &checked] {
+            assert_eq!(plain.spread.values(), hooked.spread.values());
+            assert_eq!(plain.tx_successes, hooked.tx_successes);
+            assert_eq!(plain.tx_collisions, hooked.tx_collisions);
+            assert_eq!(plain.retargets, hooked.retargets);
+            assert_eq!(plain.final_reference, hooked.final_reference);
+            assert_eq!(plain.peak_spread_us, hooked.peak_spread_us);
+        }
     }
 }
 
@@ -122,20 +194,27 @@ fn print_goldens() {
         ProtocolKind::Rk,
         ProtocolKind::Sstsp,
     ] {
-        let r = run(kind);
-        println!(
-            "    (ProtocolKind::{kind:?}, {:?}, {:?}, {:?}, {}, {}, {}, {}, {}, {}, {}, {:?}),",
-            r.peak_spread_us,
-            r.sync_latency_s,
-            r.steady_error_us,
-            r.tx_successes,
-            r.tx_collisions,
-            r.silent_windows,
-            r.reference_changes,
-            r.guard_rejections,
-            r.mutesla_rejections,
-            r.retargets,
-            r.final_reference,
-        );
+        print_golden(&run(kind), &format!("{kind:?}"));
     }
+    println!("multihop-line / ablation-refchange:");
+    print_golden(&Network::build(&multihop_cfg()).run(), "Sstsp");
+    print_golden(&Network::build(&ablation_cfg()).run(), "Sstsp");
+}
+
+#[allow(dead_code)]
+fn print_golden(r: &sstsp::RunResult, kind: &str) {
+    println!(
+        "    (ProtocolKind::{kind}, {:?}, {:?}, {:?}, {}, {}, {}, {}, {}, {}, {}, {:?}),",
+        r.peak_spread_us,
+        r.sync_latency_s,
+        r.steady_error_us,
+        r.tx_successes,
+        r.tx_collisions,
+        r.silent_windows,
+        r.reference_changes,
+        r.guard_rejections,
+        r.mutesla_rejections,
+        r.retargets,
+        r.final_reference,
+    );
 }

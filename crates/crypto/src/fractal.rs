@@ -279,5 +279,33 @@ mod proptests {
             }
             prop_assert!(t.next_element().is_none());
         }
+
+        /// Awkward chain lengths straddling binary boundaries (2^k ± j):
+        /// the recursive-halving subdivision's edge cases all live at
+        /// non-powers-of-two, where gaps split unevenly. Full traversal
+        /// must still equal the store-all chain element-for-element, and
+        /// the pebble budget must stay logarithmic throughout — the
+        /// storage bound is part of the scheme's contract, not a
+        /// power-of-two accident.
+        #[test]
+        fn non_power_of_two_lengths_match_store_all(
+            seed_bytes in proptest::array::uniform16(any::<u8>()),
+            k in 4u32..12,
+            off in 1usize..16,
+            above in any::<bool>()) {
+            let base = 1usize << k;
+            let n = if above { base + off } else { base - off };
+            let chain = HashChain::generate(seed_bytes, n);
+            let mut t = FractalTraverser::new(seed_bytes, n);
+            let budget = (n as f64).log2().ceil() as usize + 2;
+            for pos in (0..n).rev() {
+                prop_assert_eq!(t.next_element().unwrap(), chain.element(pos));
+                prop_assert!(
+                    t.pebble_count() <= budget,
+                    "pebbles {} over budget {} at n={} pos={}",
+                    t.pebble_count(), budget, n, pos);
+            }
+            prop_assert!(t.next_element().is_none());
+        }
     }
 }

@@ -24,6 +24,35 @@ use crate::hmac::{hmac_sha256_128, mac_eq, Mac128};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+/// Test-only mutation hooks (compiled under the `mutation-hooks` feature,
+/// off by default even then). These deliberately plant known protocol bugs
+/// so the fault-injection layer's invariant checker and fuzzer can be
+/// validated against a detectable defect — a mutation sanity check. Never
+/// enable outside tests.
+#[cfg(feature = "mutation-hooks")]
+pub mod mutation {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static ACCEPT_UNVERIFIED_KEYS: AtomicBool = AtomicBool::new(false);
+
+    /// Plant (or clear) the bug: with the flag on, the verifier skips
+    /// disclosed-key validation entirely and releases buffered beacons even
+    /// when their MAC does not verify under the (unvalidated) disclosed
+    /// key, i.e. it accepts beacons keyed by already-disclosed or outright
+    /// forged µTESLA keys — the exact failure µTESLA's one-way-chain check
+    /// exists to prevent. The invalid key also poisons the verifier's
+    /// authenticated-element cache, so the defect cascades the way a real
+    /// implementation bug would.
+    pub fn set_accept_unverified_keys(on: bool) {
+        ACCEPT_UNVERIFIED_KEYS.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether the planted bug is active.
+    pub fn accept_unverified_keys() -> bool {
+        ACCEPT_UNVERIFIED_KEYS.load(Ordering::SeqCst)
+    }
+}
+
 /// Maps (loosely synchronized) local time to beacon-interval indices.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct IntervalSchedule {
@@ -348,6 +377,8 @@ impl MuTeslaVerifier {
                 chain_step_n(&auth.disclosed, key_interval as usize) == self.anchor
             }
         };
+        #[cfg(feature = "mutation-hooks")]
+        let valid = valid || mutation::accept_unverified_keys();
         if !valid {
             return Err(VerifyError::BadDisclosedKey);
         }
@@ -355,12 +386,28 @@ impl MuTeslaVerifier {
             self.cached_key = Some((key_interval, auth.disclosed));
         }
 
-        // Check 3: authenticate the buffered beacon from interval j-1 with
-        // the now-validated key.
+        // Check 3: authenticate the buffered beacon with the now-validated
+        // disclosure. The buffered beacon is usually from interval j-1
+        // (whose key is exactly `auth.disclosed`), but when its *own*
+        // disclosure was lost or corrupted in flight it can be older: the
+        // key of any earlier interval pj derives from the validated
+        // disclosure by hashing down the one-way chain,
+        // `key(pj) = h^(key_interval − pj)(disclosed)` — µTESLA's standard
+        // recovery from missed disclosures.
         let released = match self.pending.take() {
-            Some((pj, ppayload, pmac)) if pj == key_interval => {
-                let expect = mac_beacon(&auth.disclosed, &ppayload, pj);
-                if mac_eq(&expect, &pmac) {
+            Some((pj, ppayload, pmac)) if pj <= key_interval => {
+                let distance = (key_interval - pj) as usize;
+                self.hashes += distance as u64;
+                let key = if distance == 0 {
+                    auth.disclosed
+                } else {
+                    chain_step_n(&auth.disclosed, distance)
+                };
+                let expect = mac_beacon(&key, &ppayload, pj);
+                let mac_ok = mac_eq(&expect, &pmac);
+                #[cfg(feature = "mutation-hooks")]
+                let mac_ok = mac_ok || mutation::accept_unverified_keys();
+                if mac_ok {
                     Some(AuthenticatedBeacon {
                         interval: pj,
                         payload: ppayload,
@@ -576,9 +623,9 @@ mod tests {
         let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
 
         // Receive beacon 1, miss 2-4, receive 5: key check must still pass
-        // (distance > 1 from cached element) and beacon 1 cannot be
-        // released (its key came in beacon 2, which was lost) — but beacon 5
-        // buffers fine and beacon 6 releases it.
+        // (distance > 1 from cached element) and beacon 1 is released late —
+        // its own disclosure came in beacon 2 (lost), but interval 1's key
+        // derives from beacon 5's validated disclosure by walking the chain.
         let p1 = b"one".to_vec();
         let a1 = signer.sign(&p1, 1);
         verifier
@@ -590,7 +637,14 @@ mod tests {
         let out = verifier
             .observe(&p5, &a5, sched.expected_emission_us(5))
             .unwrap();
-        assert_eq!(out, None, "beacon 1's window passed unauthenticated");
+        assert_eq!(
+            out,
+            Some(AuthenticatedBeacon {
+                interval: 1,
+                payload: p1
+            }),
+            "lost disclosure recovered from a later one"
+        );
 
         let p6 = b"six".to_vec();
         let a6 = signer.sign(&p6, 6);
@@ -604,6 +658,67 @@ mod tests {
                 payload: p5
             })
         );
+    }
+
+    #[test]
+    fn corrupted_disclosure_recovered_by_next_beacon() {
+        // Beacon 2 arrives with its disclosed key corrupted in flight: it
+        // is rejected and discarded. The genuine beacon 1 it would have
+        // authenticated must not be lost — beacon 3's (valid) disclosure
+        // derives interval 1's key by one extra chain step.
+        let sched = schedule(50);
+        let mut signer = MuTeslaSigner::new(seed(14), sched);
+        let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
+
+        let p1 = b"one".to_vec();
+        let a1 = signer.sign(&p1, 1);
+        verifier
+            .observe(&p1, &a1, sched.expected_emission_us(1))
+            .unwrap();
+
+        let mut a2 = signer.sign(b"two", 2);
+        a2.disclosed = [0u8; 16]; // zeroed by a disclosure-loss fault
+        let err = verifier
+            .observe(b"two", &a2, sched.expected_emission_us(2))
+            .unwrap_err();
+        assert_eq!(err, VerifyError::BadDisclosedKey);
+        assert!(verifier.has_pending(), "rejection leaves state unchanged");
+
+        let p3 = b"three".to_vec();
+        let a3 = signer.sign(&p3, 3);
+        let out = verifier
+            .observe(&p3, &a3, sched.expected_emission_us(3))
+            .unwrap();
+        assert_eq!(
+            out,
+            Some(AuthenticatedBeacon {
+                interval: 1,
+                payload: p1
+            }),
+            "beacon 1 authenticated across the corrupted disclosure"
+        );
+    }
+
+    #[test]
+    fn late_release_still_detects_forgery() {
+        // The chain-walk recovery path must not weaken check 3: a tampered
+        // buffered beacon is still flagged when authenticated by a *later*
+        // disclosure than its own.
+        let sched = schedule(50);
+        let mut signer = MuTeslaSigner::new(seed(15), sched);
+        let mut verifier = MuTeslaVerifier::new(signer.anchor(), sched);
+
+        let a1 = signer.sign(b"genuine", 1);
+        verifier
+            .observe(b"tampered", &a1, sched.expected_emission_us(1))
+            .unwrap();
+        // Beacons 2-3 missed; beacon 4's disclosure reaches back to
+        // interval 1's key and exposes the tampering.
+        let a4 = signer.sign(b"four", 4);
+        let err = verifier
+            .observe(b"four", &a4, sched.expected_emission_us(4))
+            .unwrap_err();
+        assert_eq!(err, VerifyError::PreviousBeaconForged);
     }
 
     #[test]
@@ -754,12 +869,15 @@ mod tests {
             assert_eq!(v.hash_count() - before, 1, "warm path at j={j}");
         }
 
-        // A gap of k missed beacons costs Δj = k + 1.
+        // A gap of k missed beacons costs Δj = k + 1 hashes to validate the
+        // disclosure plus Δj − 1 more to derive the buffered beacon's key
+        // across the gap (the missed-disclosure recovery path) — still
+        // O(Δj) overall.
         let before = v.hash_count();
         let a = signer.sign(b"b", 530);
         v.observe(b"b", &a, sched.expected_emission_us(530))
             .unwrap();
-        assert_eq!(v.hash_count() - before, 10, "gap path is O(Δj)");
+        assert_eq!(v.hash_count() - before, 19, "gap path is O(Δj)");
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Scenario fuzzer / fault-matrix CLI.
+//!
+//! ```text
+//! scenario_fuzz fuzz [--iters N] [--seed S]   random fault plans, shrink any violation
+//! scenario_fuzz replay "<spec>"               re-run a one-line reproducer spec
+//! scenario_fuzz matrix                        one representative run per fault class
+//! ```
+//!
+//! Exit status: 0 when every invariant held, 1 when a violation was found
+//! (the shrunk reproducer spec is printed for `replay`), 2 on usage errors.
+
+use std::process::ExitCode;
+
+use sstsp_faults::fuzz::{fuzz, FuzzConfig};
+use sstsp_faults::harness::run_case;
+use sstsp_faults::matrix::run_matrix;
+use sstsp_faults::plan::FuzzCase;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: scenario_fuzz fuzz [--iters N] [--seed S] | replay \"<spec>\" | matrix");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("fuzz") => {
+            let mut cfg = FuzzConfig::default();
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                let Some(value) = it.next() else {
+                    return usage();
+                };
+                match (flag.as_str(), value.parse::<u64>()) {
+                    ("--iters", Ok(v)) => cfg.iterations = v as u32,
+                    ("--seed", Ok(v)) => cfg.master_seed = v,
+                    _ => return usage(),
+                }
+            }
+            println!(
+                "fuzzing {} cases from master seed {}",
+                cfg.iterations, cfg.master_seed
+            );
+            let report = fuzz(&cfg, |line| println!("  {line}"));
+            match report.failure {
+                None => {
+                    println!("PASS: {} cases, no invariant violations", report.cases_run);
+                    ExitCode::SUCCESS
+                }
+                Some(f) => {
+                    println!("FAIL after {} cases", report.cases_run);
+                    println!("original: {}", f.original);
+                    println!("shrunk:   {}", f.shrunk);
+                    for v in &f.violations {
+                        println!("  {v}");
+                    }
+                    println!("replay with: scenario_fuzz replay \"{}\"", f.shrunk);
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("replay") => {
+            let Some(spec) = args.get(1) else {
+                return usage();
+            };
+            let case: FuzzCase = match spec.parse() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let outcome = run_case(&case);
+            println!(
+                "replayed: sync={} peak_spread={:.1} µs",
+                outcome.result.sync_latency_s.is_some(),
+                outcome.result.peak_spread_us
+            );
+            if outcome.violations.is_empty() {
+                println!("PASS: no invariant violations");
+                ExitCode::SUCCESS
+            } else {
+                println!("FAIL: {} violation(s)", outcome.violations.len());
+                for v in &outcome.violations {
+                    println!("  {v}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Some("matrix") => {
+            println!(
+                "{:<30} {:>10} {:>7} {:>12}  spec",
+                "fault class", "violations", "synced", "peak µs"
+            );
+            let mut failed = false;
+            for row in run_matrix() {
+                failed |= row.violations > 0;
+                println!(
+                    "{:<30} {:>10} {:>7} {:>12.1}  {}",
+                    row.label, row.violations, row.synced, row.peak_spread_us, row.case
+                );
+            }
+            if failed {
+                println!("FAIL: violations under fault injection");
+                ExitCode::FAILURE
+            } else {
+                println!("PASS: all invariants held under every fault class");
+                ExitCode::SUCCESS
+            }
+        }
+        _ => usage(),
+    }
+}

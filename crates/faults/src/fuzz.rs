@@ -1,0 +1,179 @@
+//! The scenario fuzzer: seeded random fault plans swept across N / m / δ.
+//!
+//! Each iteration derives a [`FuzzCase`] from the master seed alone
+//! (ChaCha-backed, no ambient randomness), runs it under the fault harness,
+//! and — on any invariant violation — greedily shrinks the case to a
+//! minimal reproducer whose one-line spec is returned for replay. A clean
+//! implementation fuzzes forever without a failure; the mutation sanity
+//! test proves the loop actually detects planted bugs.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use sstsp::invariants::Violation;
+
+use crate::harness::run_case;
+use crate::plan::{CorruptField, FaultEvent, FaultKind, FaultPlan, FuzzCase};
+use crate::shrink::shrink;
+
+/// Fuzzer knobs. Defaults keep a full sweep under a couple of minutes.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Number of random cases to run.
+    pub iterations: u32,
+    /// Master seed; the whole sweep is a pure function of it.
+    pub master_seed: u64,
+    /// Maximum events per plan.
+    pub max_events: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            iterations: 25,
+            master_seed: 2006,
+            max_events: 4,
+        }
+    }
+}
+
+/// A failing case found by the fuzzer, shrunk and ready to replay.
+#[derive(Debug)]
+pub struct FuzzFailure {
+    /// The case as generated.
+    pub original: FuzzCase,
+    /// The case after shrinking (still failing).
+    pub shrunk: FuzzCase,
+    /// Violations the shrunk case produces.
+    pub violations: Vec<Violation>,
+}
+
+/// Outcome of a fuzz sweep.
+#[derive(Debug)]
+pub struct FuzzReport {
+    /// Cases actually executed.
+    pub cases_run: u32,
+    /// The first failure, if any (the sweep stops there).
+    pub failure: Option<FuzzFailure>,
+}
+
+/// The N / m / δ grid the fuzzer samples from. Small networks and short
+/// runs: fault bugs are reachability bugs, not scale bugs, and a small
+/// failing case shrinks fast.
+const NS: [u32; 4] = [6, 8, 12, 16];
+const MS: [u32; 3] = [2, 4, 6];
+const DELTAS: [f64; 3] = [200.0, 300.0, 500.0];
+
+/// Derive the `i`-th random case from `rng`.
+pub fn random_case(rng: &mut ChaCha12Rng, max_events: usize) -> FuzzCase {
+    let n = NS[rng.random_range(0..NS.len())];
+    let duration_s = rng.random_range(15u32..=35) as f64;
+    let mut case = FuzzCase {
+        n,
+        duration_s,
+        seed: rng.random_range(0..u64::MAX),
+        m: MS[rng.random_range(0..MS.len())],
+        guard_fine_us: DELTAS[rng.random_range(0..DELTAS.len())],
+        plan: FaultPlan {
+            seed: rng.random_range(0..u64::MAX),
+            events: Vec::new(),
+        },
+    };
+    let total_bps = case.total_bps();
+    let n_events = rng.random_range(1..=max_events);
+    for _ in 0..n_events {
+        case.plan.events.push(random_event(rng, n, total_bps));
+    }
+    case
+}
+
+fn random_event(rng: &mut ChaCha12Rng, n: u32, total_bps: u64) -> FaultEvent {
+    // Leave the first ~30 BPs alone so the network has a chance to elect a
+    // reference worth disturbing, and leave tail room for windows.
+    let start_bp = rng.random_range(30..total_bps.saturating_sub(40).max(31));
+    let max_len = (total_bps - start_bp).min(80);
+    let end_bp = start_bp + rng.random_range(0..=max_len);
+    let node = rng.random_range(0..n);
+    let rejoin = if rng.random_bool(0.7) {
+        Some(rng.random_range(10..60))
+    } else {
+        None
+    };
+    let kind = match rng.random_range(0..9u32) {
+        0 => FaultKind::BurstLoss {
+            p: rng.random_range(0.3..1.0),
+        },
+        1 => FaultKind::Corrupt {
+            field: match rng.random_range(0..4u32) {
+                0 => CorruptField::Timestamp,
+                1 => CorruptField::Mac,
+                2 => CorruptField::Disclosed,
+                _ => CorruptField::Truncate,
+            },
+            p: rng.random_range(0.2..1.0),
+        },
+        2 => FaultKind::Crash {
+            node,
+            rejoin_after_bps: rejoin,
+        },
+        3 => FaultKind::KillReference {
+            rejoin_after_bps: rejoin,
+        },
+        4 => FaultKind::ClockStep {
+            node,
+            delta_us: rng.random_range(-2000.0..2000.0),
+        },
+        5 => FaultKind::ClockFreeze { node },
+        6 => FaultKind::DisclosureLoss {
+            p: rng.random_range(0.3..1.0),
+        },
+        7 => FaultKind::Jam,
+        _ => FaultKind::ChainExhaust {
+            intervals: start_bp,
+        },
+    };
+    FaultEvent {
+        start_bp,
+        end_bp,
+        kind,
+    }
+}
+
+/// Run a fuzz sweep. Stops at (and shrinks) the first failing case.
+pub fn fuzz<L: FnMut(&str)>(cfg: &FuzzConfig, mut log: L) -> FuzzReport {
+    let mut rng = ChaCha12Rng::seed_from_u64(cfg.master_seed);
+    for i in 0..cfg.iterations {
+        let case = random_case(&mut rng, cfg.max_events);
+        let outcome = run_case(&case);
+        if outcome.violations.is_empty() {
+            log(&format!(
+                "case {}/{}: ok ({} events, N={}, {} s)",
+                i + 1,
+                cfg.iterations,
+                case.plan.events.len(),
+                case.n,
+                case.duration_s
+            ));
+            continue;
+        }
+        log(&format!(
+            "case {}/{}: {} violation(s) — shrinking",
+            i + 1,
+            cfg.iterations,
+            outcome.violations.len()
+        ));
+        let shrunk = shrink(case.clone(), |c| !run_case(c).violations.is_empty());
+        let violations = run_case(&shrunk).violations;
+        return FuzzReport {
+            cases_run: i + 1,
+            failure: Some(FuzzFailure {
+                original: case,
+                shrunk,
+                violations,
+            }),
+        };
+    }
+    FuzzReport {
+        cases_run: cfg.iterations,
+        failure: None,
+    }
+}

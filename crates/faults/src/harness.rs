@@ -1,0 +1,202 @@
+//! The fault harness: executes a [`FaultPlan`] against a run while feeding
+//! an [`InvariantChecker`] every observation.
+//!
+//! The harness is one [`EngineHook`]: at each BP start it translates due
+//! plan events into engine [`FaultAction`]s, per delivery it applies
+//! corruption and targeted-loss faults from its *own* RNG stream (the
+//! engine's streams are never touched, so a fault run is a pure function of
+//! scenario seed + plan), and it forwards every delivery observation and BP
+//! view to the embedded checker — registering clock exemptions and
+//! disturbance notices so sanctioned physical faults don't read as protocol
+//! violations. What remains after the exemptions is exactly the claim under
+//! test: *no fault schedule can make a correct implementation accept a
+//! beacon it must reject or move a clock it must not move.*
+
+use protocols::api::{AnchorRegistry, BeaconPayload};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use simcore::SimTime;
+use sstsp::engine::{Network, RunResult};
+use sstsp::instrument::{BpView, DeliveryCtx, DeliveryFate, DeliveryObs, EngineHook, FaultAction};
+use sstsp::invariants::{InvariantChecker, Violation};
+use sstsp::scenario::ScenarioConfig;
+
+use crate::plan::{CorruptField, FaultEvent, FaultKind, FaultPlan, FuzzCase};
+
+/// Fault injector + invariant checker, attached to a run as a single hook.
+pub struct FaultHarness {
+    events: Vec<FaultEvent>,
+    checker: InvariantChecker,
+    rng: ChaCha12Rng,
+}
+
+impl FaultHarness {
+    /// Build a harness for `plan` against `scenario`. The scenario must be
+    /// the one the network is built from (the checker reads its protocol
+    /// parameters — including a plan-shortened chain).
+    pub fn new(plan: &FaultPlan, scenario: &ScenarioConfig) -> Self {
+        FaultHarness {
+            events: plan.events.clone(),
+            checker: InvariantChecker::for_scenario(scenario),
+            rng: ChaCha12Rng::seed_from_u64(plan.seed),
+        }
+    }
+
+    /// Violations the embedded checker recorded.
+    pub fn violations(&self) -> &[Violation] {
+        self.checker.violations()
+    }
+
+    /// Consume the harness, returning the recorded violations.
+    pub fn into_violations(self) -> Vec<Violation> {
+        self.checker.into_violations()
+    }
+
+    fn corrupt(&mut self, field: CorruptField, payload: &mut BeaconPayload) {
+        let BeaconPayload::Secured(body, auth) = payload else {
+            return;
+        };
+        match field {
+            CorruptField::Timestamp => {
+                // A mid-weight bit flip: large enough to matter (64 µs),
+                // small enough to sometimes slip under a loose guard.
+                body.timestamp_us ^= 1 << 6;
+            }
+            CorruptField::Mac => {
+                auth.mac[0] ^= 0xff;
+                auth.mac[7] ^= 0x0f;
+            }
+            CorruptField::Disclosed => {
+                auth.disclosed[0] ^= 0xff;
+                auth.disclosed[15] ^= 0x0f;
+            }
+            CorruptField::Truncate => {
+                *payload = BeaconPayload::Plain(*body);
+            }
+        }
+    }
+}
+
+impl EngineHook for FaultHarness {
+    fn on_run_start(&mut self, scenario: &ScenarioConfig, anchors: &AnchorRegistry) {
+        self.checker.on_run_start(scenario, anchors);
+    }
+
+    fn on_bp_start(&mut self, bp: u64, _t0: SimTime, actions: &mut Vec<FaultAction>) {
+        let mut disturbed = false;
+        for ev in &self.events {
+            if ev.start_bp == bp {
+                match ev.kind {
+                    FaultKind::BurstLoss { p } => actions.push(FaultAction::SetBurstLoss(p)),
+                    FaultKind::Crash {
+                        node,
+                        rejoin_after_bps,
+                    } => actions.push(FaultAction::Crash {
+                        node,
+                        rejoin_after_bps,
+                    }),
+                    FaultKind::KillReference { rejoin_after_bps } => {
+                        actions.push(FaultAction::KillReference { rejoin_after_bps })
+                    }
+                    FaultKind::ClockStep { node, delta_us } => {
+                        // A glitched oscillator invalidates that station's
+                        // monotonicity baseline for the rest of the run
+                        // (its adjusted clock legitimately jumps, then its
+                        // re-discipline slews it again).
+                        self.checker.exempt_clock(node, u64::MAX);
+                        actions.push(FaultAction::ClockStep { node, delta_us });
+                    }
+                    FaultKind::ClockFreeze { node } => {
+                        self.checker.exempt_clock(node, u64::MAX);
+                        actions.push(FaultAction::ClockFreeze { node });
+                    }
+                    FaultKind::Jam => actions.push(FaultAction::SetJammed(true)),
+                    FaultKind::Corrupt { .. }
+                    | FaultKind::DisclosureLoss { .. }
+                    | FaultKind::ChainExhaust { .. } => {}
+                }
+            }
+            if ev.end_bp.checked_add(1) == Some(bp) {
+                match ev.kind {
+                    FaultKind::BurstLoss { .. } => actions.push(FaultAction::SetBurstLoss(0.0)),
+                    FaultKind::ClockFreeze { node } => {
+                        actions.push(FaultAction::ClockUnfreeze { node })
+                    }
+                    FaultKind::Jam => actions.push(FaultAction::SetJammed(false)),
+                    _ => {}
+                }
+            }
+            if ev.active_at(bp) {
+                disturbed = true;
+            }
+            // Past chain exhaustion nothing is acceptable, so the network
+            // free-runs for good: keep convergence invariants suspended
+            // from slightly before the exhaustion point (clock retargets
+            // aim m intervals ahead) to the end of the run.
+            if let FaultKind::ChainExhaust { intervals } = ev.kind {
+                const EXHAUST_MARGIN_BPS: u64 = 16;
+                if bp + EXHAUST_MARGIN_BPS >= intervals {
+                    disturbed = true;
+                }
+            }
+        }
+        if disturbed {
+            self.checker.note_disturbance(bp);
+        }
+    }
+
+    fn on_delivery(&mut self, ctx: &DeliveryCtx, payload: &mut BeaconPayload) -> DeliveryFate {
+        for i in 0..self.events.len() {
+            let ev = self.events[i];
+            if !ev.active_at(ctx.bp) {
+                continue;
+            }
+            match ev.kind {
+                FaultKind::Corrupt { field, p } if self.rng.random_bool(p) => {
+                    self.corrupt(field, payload);
+                }
+                FaultKind::DisclosureLoss { p }
+                    if payload.is_secured() && self.rng.random_bool(p) =>
+                {
+                    return DeliveryFate::Drop;
+                }
+                _ => {}
+            }
+        }
+        DeliveryFate::Deliver
+    }
+
+    fn post_delivery(&mut self, obs: &DeliveryObs<'_>) {
+        self.checker.post_delivery(obs);
+    }
+
+    fn on_bp_end(&mut self, view: &BpView<'_>) {
+        self.checker.on_bp_end(view);
+    }
+
+    fn on_run_end(&mut self, result: &RunResult) {
+        self.checker.on_run_end(result);
+    }
+}
+
+/// Everything a fault run produces.
+pub struct CaseOutcome {
+    /// The run's aggregate result.
+    pub result: RunResult,
+    /// Invariant violations observed under the fault plan (empty for a
+    /// correct implementation, whatever the plan).
+    pub violations: Vec<Violation>,
+}
+
+/// Execute `case`: build its scenario (chain shortened if the plan says
+/// so), run it under the fault harness, and return result + violations.
+/// Deterministic: the same case always produces the same outcome.
+pub fn run_case(case: &FuzzCase) -> CaseOutcome {
+    let scenario = case.scenario();
+    let mut harness = FaultHarness::new(&case.plan, &scenario);
+    let result = Network::build(&scenario).run_with_hook(&mut harness);
+    CaseOutcome {
+        result,
+        violations: harness.into_violations(),
+    }
+}

@@ -1,0 +1,505 @@
+//! Fault plans and the one-line replayable case spec.
+//!
+//! A [`FaultPlan`] is a list of sim-time-scheduled [`FaultEvent`]s plus the
+//! seed of the fault layer's own RNG stream (per-delivery corruption draws
+//! never touch the engine's streams). A [`FuzzCase`] bundles a plan with the
+//! scenario dimensions the fuzzer sweeps (N, duration, seed, m, δ) and
+//! serializes to a single whitespace-separated line that parses back
+//! losslessly — every reported reproducer is replayable from its printed
+//! spec alone.
+
+use std::fmt;
+use std::str::FromStr;
+
+use sstsp::scenario::{ProtocolKind, ScenarioConfig};
+
+/// Which field of a secured beacon a corruption fault damages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptField {
+    /// Flip a mid-weight bit of the TSF timestamp.
+    Timestamp,
+    /// Flip bits of the µTESLA MAC.
+    Mac,
+    /// Flip bits of the disclosed chain element.
+    Disclosed,
+    /// Truncate the frame: the µTESLA trailer is lost and the beacon
+    /// degrades to a plain TSF beacon.
+    Truncate,
+}
+
+impl CorruptField {
+    fn token(self) -> &'static str {
+        match self {
+            CorruptField::Timestamp => "ts",
+            CorruptField::Mac => "mac",
+            CorruptField::Disclosed => "key",
+            CorruptField::Truncate => "trunc",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, SpecError> {
+        Ok(match s {
+            "ts" => CorruptField::Timestamp,
+            "mac" => CorruptField::Mac,
+            "key" => CorruptField::Disclosed,
+            "trunc" => CorruptField::Truncate,
+            _ => return Err(SpecError(format!("unknown corrupt field `{s}`"))),
+        })
+    }
+}
+
+/// One class of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Extra packet loss composed with the channel PER over the window.
+    BurstLoss {
+        /// Added loss probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Per-delivery beacon corruption over the window.
+    Corrupt {
+        /// Which field gets damaged.
+        field: CorruptField,
+        /// Per-delivery corruption probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Crash a station at the window start.
+    Crash {
+        /// Station to crash.
+        node: u32,
+        /// BPs until it reboots and rejoins; `None` = permanent.
+        rejoin_after_bps: Option<u64>,
+    },
+    /// Crash whichever station holds the reference role at the window
+    /// start.
+    KillReference {
+        /// BPs until it reboots and rejoins; `None` = permanent.
+        rejoin_after_bps: Option<u64>,
+    },
+    /// Step a station's hardware clock at the window start.
+    ClockStep {
+        /// Affected station.
+        node: u32,
+        /// Signed step, µs.
+        delta_us: f64,
+    },
+    /// Freeze a station's hardware clock for the window.
+    ClockFreeze {
+        /// Affected station.
+        node: u32,
+    },
+    /// Drop secured beacons at receivers over the window — the µTESLA
+    /// disclosure-loss fault (disclosures ride in the next beacon, so
+    /// losing beacons is losing disclosures; the verifier's chain-walk
+    /// recovery must absorb it).
+    DisclosureLoss {
+        /// Per-delivery drop probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Jam the channel for the window.
+    Jam,
+    /// Shorten every station's hash chain to `intervals` so the chains
+    /// exhaust mid-run (EXPERIMENTS.md deviation #5: the paper never
+    /// discusses re-keying). Applied before the network is built; the
+    /// event window starts at the exhaustion BP.
+    ChainExhaust {
+        /// Chain length in intervals (= the exhaustion BP index).
+        intervals: u64,
+    },
+}
+
+/// A fault with its activation window (BP indices, inclusive on both ends;
+/// point events have `start_bp == end_bp`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// First BP the fault is active in.
+    pub start_bp: u64,
+    /// Last BP the fault is active in.
+    pub end_bp: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Whether the fault is active at `bp`.
+    pub fn active_at(&self, bp: u64) -> bool {
+        bp >= self.start_bp && bp <= self.end_bp
+    }
+}
+
+/// A composable, deterministic fault schedule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed of the fault layer's own RNG stream (corruption/loss draws).
+    pub seed: u64,
+    /// The scheduled faults.
+    pub events: Vec<FaultEvent>,
+}
+
+/// A fuzzer case: scenario dimensions plus the fault plan. `Display`
+/// produces the one-line spec; `FromStr` parses it back (round-trip exact —
+/// floats print in shortest-round-trip form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// Network size.
+    pub n: u32,
+    /// Simulated duration, seconds.
+    pub duration_s: f64,
+    /// Scenario master seed.
+    pub seed: u64,
+    /// SSTSP aggressiveness parameter m.
+    pub m: u32,
+    /// Fine guard time δ, µs.
+    pub guard_fine_us: f64,
+    /// The fault schedule.
+    pub plan: FaultPlan,
+}
+
+impl FuzzCase {
+    /// A fault-free case at the repo's quick-check dimensions.
+    pub fn base(n: u32, duration_s: f64, seed: u64) -> Self {
+        FuzzCase {
+            n,
+            duration_s,
+            seed,
+            m: 4,
+            guard_fine_us: 300.0,
+            plan: FaultPlan::default(),
+        }
+    }
+
+    /// Number of beacon periods this case simulates.
+    pub fn total_bps(&self) -> u64 {
+        self.scenario().total_bps()
+    }
+
+    /// Materialize the scenario: single-hop SSTSP with the case's
+    /// dimensions, no scripted churn or departures (the fault plan supplies
+    /// all disturbances), and the chain shortened if the plan carries a
+    /// [`FaultKind::ChainExhaust`] event.
+    pub fn scenario(&self) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::new(ProtocolKind::Sstsp, self.n, self.duration_s, self.seed);
+        cfg.protocol_config.m = self.m;
+        cfg.protocol_config.guard_fine_us = self.guard_fine_us;
+        for ev in &self.plan.events {
+            if let FaultKind::ChainExhaust { intervals } = ev.kind {
+                cfg.protocol_config.total_intervals = intervals as usize;
+            }
+        }
+        cfg
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", kind_token(&self.kind))?;
+        write!(f, "@{}..{}", self.start_bp, self.end_bp)?;
+        match self.kind {
+            FaultKind::BurstLoss { p } | FaultKind::DisclosureLoss { p } => write!(f, ":p={p}"),
+            FaultKind::Corrupt { field, p } => write!(f, ":field={},p={p}", field.token()),
+            FaultKind::Crash {
+                node,
+                rejoin_after_bps,
+            } => write!(f, ":node={node},rejoin={}", rejoin_token(rejoin_after_bps)),
+            FaultKind::KillReference { rejoin_after_bps } => {
+                write!(f, ":rejoin={}", rejoin_token(rejoin_after_bps))
+            }
+            FaultKind::ClockStep { node, delta_us } => write!(f, ":node={node},us={delta_us}"),
+            FaultKind::ClockFreeze { node } => write!(f, ":node={node}"),
+            FaultKind::Jam => Ok(()),
+            FaultKind::ChainExhaust { intervals } => write!(f, ":at={intervals}"),
+        }
+    }
+}
+
+fn kind_token(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::BurstLoss { .. } => "burst",
+        FaultKind::Corrupt { .. } => "corrupt",
+        FaultKind::Crash { .. } => "crash",
+        FaultKind::KillReference { .. } => "killref",
+        FaultKind::ClockStep { .. } => "step",
+        FaultKind::ClockFreeze { .. } => "freeze",
+        FaultKind::DisclosureLoss { .. } => "discloss",
+        FaultKind::Jam => "jam",
+        FaultKind::ChainExhaust { .. } => "exhaust",
+    }
+}
+
+fn rejoin_token(r: Option<u64>) -> String {
+    match r {
+        Some(bps) => bps.to_string(),
+        None => "never".to_string(),
+    }
+}
+
+impl fmt::Display for FuzzCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} dur={} seed={} m={} delta={} plan={}",
+            self.n, self.duration_s, self.seed, self.m, self.guard_fine_us, self.plan.seed
+        )?;
+        for ev in &self.plan.events {
+            write!(f, " {ev}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A malformed case spec.
+#[derive(Debug, Clone)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad case spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn parse_num<T: FromStr>(key: &str, v: &str) -> Result<T, SpecError> {
+    v.parse()
+        .map_err(|_| SpecError(format!("bad value `{v}` for `{key}`")))
+}
+
+fn split_kv<'a>(token: &'a str, what: &str) -> Result<(&'a str, &'a str), SpecError> {
+    token
+        .split_once('=')
+        .ok_or_else(|| SpecError(format!("expected key=value in {what}, got `{token}`")))
+}
+
+fn parse_rejoin(v: &str) -> Result<Option<u64>, SpecError> {
+    if v == "never" {
+        Ok(None)
+    } else {
+        parse_num("rejoin", v).map(Some)
+    }
+}
+
+impl FromStr for FaultEvent {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        let (head, args) = match s.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (s, None),
+        };
+        let (kind_tok, window) = head
+            .split_once('@')
+            .ok_or_else(|| SpecError(format!("expected kind@start..end in `{s}`")))?;
+        let (start, end) = window
+            .split_once("..")
+            .ok_or_else(|| SpecError(format!("expected start..end in `{s}`")))?;
+        let start_bp: u64 = parse_num("start", start)?;
+        let end_bp: u64 = parse_num("end", end)?;
+
+        // Collect the comma-separated key=value arguments.
+        let mut node: Option<u32> = None;
+        let mut p: Option<f64> = None;
+        let mut field: Option<CorruptField> = None;
+        let mut rejoin: Option<Option<u64>> = None;
+        let mut us: Option<f64> = None;
+        let mut at: Option<u64> = None;
+        for token in args.unwrap_or("").split(',').filter(|t| !t.is_empty()) {
+            let (k, v) = split_kv(token, "event args")?;
+            match k {
+                "node" => node = Some(parse_num(k, v)?),
+                "p" => p = Some(parse_num(k, v)?),
+                "field" => field = Some(CorruptField::parse(v)?),
+                "rejoin" => rejoin = Some(parse_rejoin(v)?),
+                "us" => us = Some(parse_num(k, v)?),
+                "at" => at = Some(parse_num(k, v)?),
+                _ => return Err(SpecError(format!("unknown event arg `{k}`"))),
+            }
+        }
+        let missing = |what: &str| SpecError(format!("`{kind_tok}` needs `{what}`"));
+        let kind = match kind_tok {
+            "burst" => FaultKind::BurstLoss {
+                p: p.ok_or_else(|| missing("p"))?,
+            },
+            "corrupt" => FaultKind::Corrupt {
+                field: field.ok_or_else(|| missing("field"))?,
+                p: p.ok_or_else(|| missing("p"))?,
+            },
+            "crash" => FaultKind::Crash {
+                node: node.ok_or_else(|| missing("node"))?,
+                rejoin_after_bps: rejoin.ok_or_else(|| missing("rejoin"))?,
+            },
+            "killref" => FaultKind::KillReference {
+                rejoin_after_bps: rejoin.ok_or_else(|| missing("rejoin"))?,
+            },
+            "step" => FaultKind::ClockStep {
+                node: node.ok_or_else(|| missing("node"))?,
+                delta_us: us.ok_or_else(|| missing("us"))?,
+            },
+            "freeze" => FaultKind::ClockFreeze {
+                node: node.ok_or_else(|| missing("node"))?,
+            },
+            "discloss" => FaultKind::DisclosureLoss {
+                p: p.ok_or_else(|| missing("p"))?,
+            },
+            "jam" => FaultKind::Jam,
+            "exhaust" => FaultKind::ChainExhaust {
+                intervals: at.ok_or_else(|| missing("at"))?,
+            },
+            _ => return Err(SpecError(format!("unknown fault kind `{kind_tok}`"))),
+        };
+        Ok(FaultEvent {
+            start_bp,
+            end_bp,
+            kind,
+        })
+    }
+}
+
+impl FromStr for FuzzCase {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        let mut n = None;
+        let mut dur = None;
+        let mut seed = None;
+        let mut m = None;
+        let mut delta = None;
+        let mut plan_seed = None;
+        let mut events = Vec::new();
+        for token in s.split_whitespace() {
+            if token.contains('@') {
+                events.push(token.parse()?);
+                continue;
+            }
+            let (k, v) = split_kv(token, "case dims")?;
+            match k {
+                "n" => n = Some(parse_num(k, v)?),
+                "dur" => dur = Some(parse_num(k, v)?),
+                "seed" => seed = Some(parse_num(k, v)?),
+                "m" => m = Some(parse_num(k, v)?),
+                "delta" => delta = Some(parse_num(k, v)?),
+                "plan" => plan_seed = Some(parse_num(k, v)?),
+                _ => return Err(SpecError(format!("unknown case dim `{k}`"))),
+            }
+        }
+        let need = |what: &str| SpecError(format!("missing `{what}`"));
+        Ok(FuzzCase {
+            n: n.ok_or_else(|| need("n"))?,
+            duration_s: dur.ok_or_else(|| need("dur"))?,
+            seed: seed.ok_or_else(|| need("seed"))?,
+            m: m.ok_or_else(|| need("m"))?,
+            guard_fine_us: delta.ok_or_else(|| need("delta"))?,
+            plan: FaultPlan {
+                seed: plan_seed.ok_or_else(|| need("plan"))?,
+                events,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_case() -> FuzzCase {
+        let mut case = FuzzCase::base(12, 30.0, 7);
+        case.plan.seed = 3;
+        case.plan.events = vec![
+            FaultEvent {
+                start_bp: 40,
+                end_bp: 90,
+                kind: FaultKind::BurstLoss { p: 0.85 },
+            },
+            FaultEvent {
+                start_bp: 60,
+                end_bp: 60,
+                kind: FaultKind::Crash {
+                    node: 3,
+                    rejoin_after_bps: Some(50),
+                },
+            },
+            FaultEvent {
+                start_bp: 100,
+                end_bp: 100,
+                kind: FaultKind::KillReference {
+                    rejoin_after_bps: None,
+                },
+            },
+            FaultEvent {
+                start_bp: 120,
+                end_bp: 160,
+                kind: FaultKind::Corrupt {
+                    field: CorruptField::Disclosed,
+                    p: 0.5,
+                },
+            },
+            FaultEvent {
+                start_bp: 170,
+                end_bp: 170,
+                kind: FaultKind::ClockStep {
+                    node: 2,
+                    delta_us: -137.25,
+                },
+            },
+            FaultEvent {
+                start_bp: 180,
+                end_bp: 220,
+                kind: FaultKind::ClockFreeze { node: 5 },
+            },
+            FaultEvent {
+                start_bp: 200,
+                end_bp: 210,
+                kind: FaultKind::Jam,
+            },
+            FaultEvent {
+                start_bp: 230,
+                end_bp: 260,
+                kind: FaultKind::DisclosureLoss { p: 0.9 },
+            },
+            FaultEvent {
+                start_bp: 280,
+                end_bp: 300,
+                kind: FaultKind::ChainExhaust { intervals: 280 },
+            },
+        ];
+        case
+    }
+
+    #[test]
+    fn spec_round_trips_every_fault_kind() {
+        let case = sample_case();
+        let spec = case.to_string();
+        let parsed: FuzzCase = spec.parse().expect("spec parses");
+        assert_eq!(parsed, case, "round-trip mismatch for `{spec}`");
+        // And the spec is genuinely one line.
+        assert!(!spec.contains('\n'));
+    }
+
+    #[test]
+    fn exhaust_event_shortens_the_chain() {
+        let case = sample_case();
+        assert_eq!(case.scenario().protocol_config.total_intervals, 280);
+        let base = FuzzCase::base(8, 20.0, 1);
+        assert!(base.scenario().protocol_config.total_intervals > 200);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "n=8",                                                  // missing dims
+            "n=8 dur=20 seed=1 m=4 delta=300 plan=0 zap@1..2",      // unknown kind
+            "n=8 dur=20 seed=1 m=4 delta=300 plan=0 crash@1..2",    // missing args
+            "n=8 dur=20 seed=1 m=4 delta=300 plan=0 burst@5:p=0.5", // no window
+            "n=8 dur=x seed=1 m=4 delta=300 plan=0",                // bad number
+        ] {
+            assert!(bad.parse::<FuzzCase>().is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn float_dims_round_trip() {
+        let mut case = FuzzCase::base(6, 12.5, 9);
+        case.guard_fine_us = 287.125;
+        let parsed: FuzzCase = case.to_string().parse().unwrap();
+        assert_eq!(parsed, case);
+    }
+}

@@ -1,0 +1,202 @@
+//! Greedy deterministic case shrinking.
+//!
+//! Given a failing [`FuzzCase`] and a predicate that re-checks failure, the
+//! shrinker repeats four reduction passes to a fixpoint: drop whole events,
+//! halve event windows, halve fault magnitudes (clock-step sizes; loss and
+//! corruption probabilities are *raised* toward 1 — a deterministic fault
+//! is simpler to reason about than a probabilistic one), and shrink the
+//! scenario itself (fewer stations, shorter run). Every candidate is
+//! validated by re-running the predicate, so the final case is a local
+//! minimum that still fails — and, being a plain [`FuzzCase`], replays from
+//! its one-line spec.
+
+use crate::plan::{FaultKind, FuzzCase};
+
+/// Smallest network the shrinker will try.
+const MIN_NODES: u32 = 4;
+/// Shortest run the shrinker will try, seconds.
+const MIN_DURATION_S: f64 = 5.0;
+
+/// Shrink `case` while `still_fails` holds. `still_fails(&case)` must be
+/// `true` on entry; the result is a minimal failing case under the passes
+/// above. Fully deterministic — same input and predicate, same output.
+pub fn shrink<F: FnMut(&FuzzCase) -> bool>(mut case: FuzzCase, mut still_fails: F) -> FuzzCase {
+    loop {
+        let mut progress = false;
+
+        // Pass 1: drop events one at a time, restarting after each success
+        // (dropping one event can make another droppable).
+        let mut i = 0;
+        while i < case.plan.events.len() {
+            let mut cand = case.clone();
+            cand.plan.events.remove(i);
+            if still_fails(&cand) {
+                case = cand;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Pass 2: halve each surviving event's window toward a point.
+        for i in 0..case.plan.events.len() {
+            loop {
+                let ev = case.plan.events[i];
+                let len = ev.end_bp.saturating_sub(ev.start_bp);
+                if len == 0 {
+                    break;
+                }
+                let mut cand = case.clone();
+                cand.plan.events[i].end_bp = ev.start_bp + len / 2;
+                if still_fails(&cand) {
+                    case = cand;
+                    progress = true;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // Pass 3: simplify magnitudes — steps toward zero, probabilities
+        // toward certainty.
+        for i in 0..case.plan.events.len() {
+            let simpler = match case.plan.events[i].kind {
+                FaultKind::ClockStep { node, delta_us } if delta_us.abs() > 1.0 => {
+                    Some(FaultKind::ClockStep {
+                        node,
+                        delta_us: (delta_us / 2.0 * 100.0).round() / 100.0,
+                    })
+                }
+                FaultKind::BurstLoss { p } if p < 1.0 => Some(FaultKind::BurstLoss { p: 1.0 }),
+                FaultKind::DisclosureLoss { p } if p < 1.0 => {
+                    Some(FaultKind::DisclosureLoss { p: 1.0 })
+                }
+                FaultKind::Corrupt { field, p } if p < 1.0 => {
+                    Some(FaultKind::Corrupt { field, p: 1.0 })
+                }
+                _ => None,
+            };
+            if let Some(kind) = simpler {
+                let mut cand = case.clone();
+                cand.plan.events[i].kind = kind;
+                if still_fails(&cand) {
+                    case = cand;
+                    progress = true;
+                }
+            }
+        }
+
+        // Pass 4: shrink the scenario dimensions.
+        if case.n > MIN_NODES {
+            let mut cand = case.clone();
+            cand.n = (case.n / 2).max(MIN_NODES);
+            if still_fails(&cand) {
+                case = cand;
+                progress = true;
+            }
+        }
+        if case.duration_s > MIN_DURATION_S {
+            let mut cand = case.clone();
+            cand.duration_s = (case.duration_s / 2.0).max(MIN_DURATION_S);
+            // Drop events scheduled past the shortened horizon.
+            let bps = cand.total_bps();
+            cand.plan.events.retain(|ev| ev.start_bp < bps);
+            if !cand.plan.events.is_empty() && still_fails(&cand) {
+                case = cand;
+                progress = true;
+            }
+        }
+
+        if !progress {
+            return case;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultEvent, FaultPlan};
+
+    /// Synthetic predicate: fails iff the plan still contains a crash of
+    /// station 3 — no simulation needed to exercise the passes.
+    fn fails(case: &FuzzCase) -> bool {
+        case.plan
+            .events
+            .iter()
+            .any(|ev| matches!(ev.kind, FaultKind::Crash { node: 3, .. }))
+    }
+
+    #[test]
+    fn shrinks_to_the_single_triggering_event() {
+        let mut case = FuzzCase::base(16, 40.0, 1);
+        case.plan = FaultPlan {
+            seed: 0,
+            events: vec![
+                FaultEvent {
+                    start_bp: 10,
+                    end_bp: 90,
+                    kind: FaultKind::BurstLoss { p: 0.4 },
+                },
+                FaultEvent {
+                    start_bp: 20,
+                    end_bp: 80,
+                    kind: FaultKind::Crash {
+                        node: 3,
+                        rejoin_after_bps: Some(10),
+                    },
+                },
+                FaultEvent {
+                    start_bp: 30,
+                    end_bp: 70,
+                    kind: FaultKind::Jam,
+                },
+                FaultEvent {
+                    start_bp: 40,
+                    end_bp: 60,
+                    kind: FaultKind::ClockStep {
+                        node: 1,
+                        delta_us: -500.0,
+                    },
+                },
+            ],
+        };
+        let small = shrink(case, fails);
+        assert_eq!(small.plan.events.len(), 1, "only the trigger survives");
+        assert!(matches!(
+            small.plan.events[0].kind,
+            FaultKind::Crash { node: 3, .. }
+        ));
+        // Window collapsed to a point, scenario shrunk to the floors.
+        assert_eq!(small.plan.events[0].start_bp, small.plan.events[0].end_bp);
+        assert_eq!(small.n, MIN_NODES);
+        assert_eq!(small.duration_s, MIN_DURATION_S);
+    }
+
+    #[test]
+    fn probabilities_shrink_toward_certainty() {
+        let mut case = FuzzCase::base(8, 20.0, 1);
+        case.plan.events = vec![
+            FaultEvent {
+                start_bp: 5,
+                end_bp: 5,
+                kind: FaultKind::Crash {
+                    node: 3,
+                    rejoin_after_bps: None,
+                },
+            },
+            FaultEvent {
+                start_bp: 10,
+                end_bp: 20,
+                kind: FaultKind::BurstLoss { p: 0.3 },
+            },
+        ];
+        // Predicate keeps both events alive so pass 3 gets to act.
+        let small = shrink(case, |c| c.plan.events.len() == 2);
+        assert!(small
+            .plan
+            .events
+            .iter()
+            .any(|ev| matches!(ev.kind, FaultKind::BurstLoss { p } if p == 1.0)));
+    }
+}

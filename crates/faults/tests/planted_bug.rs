@@ -1,0 +1,114 @@
+//! Mutation sanity check: plant a known protocol bug (accept beacons keyed
+//! by already-disclosed / forged µTESLA keys), then verify the invariant
+//! checker flags it, the fuzzer finds it, and the shrinker reduces it to a
+//! minimal one-line reproducer that replays deterministically.
+//!
+//! The planted bug is a process-global flag (`mutation-hooks` feature in
+//! `sstsp-crypto`), so this file contains exactly ONE `#[test]` — phases
+//! that need the flag off and on would race as separate tests.
+
+use sstsp_crypto::mu_tesla::mutation;
+use sstsp_faults::fuzz::{fuzz, FuzzConfig};
+use sstsp_faults::harness::run_case;
+use sstsp_faults::plan::{CorruptField, FaultEvent, FaultKind, FaultPlan, FuzzCase};
+use sstsp_faults::shrink::shrink;
+
+/// A case whose corrupted disclosed keys a correct verifier rejects — and
+/// the planted bug accepts, with cascading checker-visible consequences.
+fn trigger_case() -> FuzzCase {
+    let mut case = FuzzCase::base(8, 20.0, 7);
+    case.plan = FaultPlan {
+        seed: 99,
+        events: vec![FaultEvent {
+            start_bp: 70,
+            end_bp: 150,
+            kind: FaultKind::Corrupt {
+                field: CorruptField::Disclosed,
+                p: 0.7,
+            },
+        }],
+    };
+    case
+}
+
+#[test]
+fn planted_bug_is_caught_flagged_shrunk_and_replayable() {
+    // Phase 1 — flag off: the correct implementation rejects the corrupted
+    // disclosures; the checker stays silent.
+    mutation::set_accept_unverified_keys(false);
+    let clean = run_case(&trigger_case());
+    assert!(
+        clean.violations.is_empty(),
+        "correct implementation must be clean: {:?}",
+        clean.violations
+    );
+
+    // Phase 2 — plant the bug: the verifier now accepts beacons keyed by
+    // forged disclosures. The KeyFreshness invariant (which re-derives key
+    // validity independently via its own chain walk) must fire.
+    mutation::set_accept_unverified_keys(true);
+    let buggy = run_case(&trigger_case());
+    assert!(
+        !buggy.violations.is_empty(),
+        "planted bug must produce invariant violations"
+    );
+    assert!(
+        buggy
+            .violations
+            .iter()
+            .any(|v| v.to_string().contains("KeyFreshness")),
+        "violations must include KeyFreshness: {:?}",
+        buggy.violations
+    );
+
+    // Phase 3 — shrink to a minimal reproducer.
+    let shrunk = shrink(trigger_case(), |c| !run_case(c).violations.is_empty());
+    assert_eq!(
+        shrunk.plan.events.len(),
+        1,
+        "minimal reproducer keeps the single triggering event"
+    );
+    assert!(
+        !run_case(&shrunk).violations.is_empty(),
+        "shrunk case still fails"
+    );
+    assert!(
+        shrunk.n <= trigger_case().n && shrunk.duration_s <= trigger_case().duration_s,
+        "shrinking never grows the scenario"
+    );
+
+    // Phase 4 — the one-line spec round-trips and replays deterministically.
+    let spec = shrunk.to_string();
+    let replayed: FuzzCase = spec.parse().expect("spec parses back");
+    assert_eq!(replayed, shrunk);
+    let a = run_case(&shrunk);
+    let b = run_case(&replayed);
+    assert_eq!(a.violations.len(), b.violations.len());
+    assert_eq!(a.result.spread.values(), b.result.spread.values());
+
+    // Phase 5 — the fuzzer finds the bug on its own (corrupt-disclosed
+    // events are 1/36 of its kind×field space; give it enough iterations).
+    let report = fuzz(
+        &FuzzConfig {
+            iterations: 60,
+            master_seed: 2006,
+            max_events: 4,
+        },
+        |_| {},
+    );
+    let failure = report.failure.expect("fuzzer must find the planted bug");
+    assert!(
+        !failure.violations.is_empty(),
+        "shrunk fuzz failure still violates"
+    );
+    assert!(
+        failure.shrunk.plan.events.len() <= failure.original.plan.events.len(),
+        "shrinking never adds events"
+    );
+
+    // Phase 6 — clear the bug: the same reproducers go clean again, proving
+    // the violations came from the mutation, not the fault plan.
+    mutation::set_accept_unverified_keys(false);
+    assert!(run_case(&shrunk).violations.is_empty());
+    assert!(run_case(&failure.shrunk).violations.is_empty());
+}

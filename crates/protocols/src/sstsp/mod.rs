@@ -67,6 +67,18 @@ pub struct SstspStats {
     pub alerts: u64,
     /// Synchronization restarts performed by the recovery extension.
     pub recovery_restarts: u64,
+    /// Secured beacons that passed every check (guard + µTESLA) and were
+    /// admitted as evidence of a live reference. External invariant
+    /// checkers diff this counter around a delivery to detect acceptance.
+    pub accepted: u64,
+    /// Discontinuous adjusted-clock steps (coarse-phase completion, domain
+    /// takeover). These are the *sanctioned* discontinuities; an external
+    /// monotonicity check exempts a BP exactly when this counter moved.
+    pub clock_steps: u64,
+    /// Snapshot of the guard-lock state (coarse → fine δ) at the time the
+    /// stats were read. Not a counter; exposed so external checkers can
+    /// reconstruct which guard threshold applied to a given beacon.
+    pub guard_locked: bool,
 }
 
 /// A beacon observation awaiting µTESLA authentication: reception data for
@@ -511,6 +523,7 @@ impl SstspNode {
                         // synchronized domain; a domain merge is the same
                         // event as joining a network.
                         self.adjusted.step_to(rx.local_rx_us, ts_ref);
+                        self.stats.clock_steps += 1;
                         self.guard_locked = false;
                     }
                     released
@@ -529,6 +542,7 @@ impl SstspNode {
 
         // The beacon passed every check: it is evidence of a live
         // reference.
+        self.stats.accepted += 1;
         self.saw_beacon = true;
         self.missed_bps = 0;
         self.upstream_rejects = 0;
@@ -617,6 +631,7 @@ impl SstspNode {
             Some(mean) => {
                 let now = self.adjusted.value(ctx.local_us);
                 self.adjusted.step_to(ctx.local_us, now + mean);
+                self.stats.clock_steps += 1;
                 self.synchronized = true;
                 self.phase = Phase::Fine;
                 self.missed_bps = 0;
@@ -863,7 +878,9 @@ impl SyncProtocol for SstspNode {
     }
 
     fn sstsp_stats(&self) -> Option<SstspStats> {
-        Some(self.stats)
+        let mut s = self.stats;
+        s.guard_locked = self.guard_locked;
+        Some(s)
     }
 
     fn current_reference(&self) -> Option<NodeId> {

@@ -557,3 +557,97 @@ mod recovery {
         assert_eq!(duo.nodes[1].stats.alerts, 2);
     }
 }
+
+/// Property tests for the guard-time locking state machine: the coarse →
+/// fine transition, lock stability under clean traffic, and the reset on
+/// rejoin. The paper distinguishes exactly these two guard regimes; this
+/// machine deciding *which* δ applies is what the guard-influence theorem
+/// leans on, so its transitions are pinned as properties over arbitrary
+/// member oscillators.
+mod guard_lock_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Drive `duo` from BP `from` (exclusive) until the member guard-locks,
+    /// returning the BP it locked at.
+    fn drive_until_locked(duo: &mut Duo, from: u64, deadline: u64) -> Option<u64> {
+        for k in (from + 1)..deadline {
+            duo.run_bp(k);
+            if duo.nodes[1].guard_locked {
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Coarse → fine: whatever the member's (bounded) oscillator rate
+        /// and initial phase, it reaches the fine-guard lock within a
+        /// bounded number of reference BPs — and once there, clean beacons
+        /// never unlock it. Before the lock the loose coarse δ applies, so
+        /// no beacon may be guard-rejected on the way in.
+        #[test]
+        fn member_locks_within_bound_and_stays_locked(
+            rate in 0.9995f64..1.0005,
+            phase in -2_000.0f64..2_000.0,
+        ) {
+            let mut duo = Duo::new(ProtocolConfig::paper(), rate, phase);
+            duo.elect_node0();
+            prop_assert!(!duo.nodes[1].guard_locked, "founding member starts unlocked");
+
+            let locked_at = drive_until_locked(&mut duo, 1, 40);
+            prop_assert!(locked_at.is_some(), "member never guard-locked");
+            // The coarse guard must admit the whole convergence path.
+            prop_assert_eq!(duo.nodes[1].stats.guard_rejections, 0);
+
+            // Lock is absorbing under clean traffic, and the error stays
+            // small enough that the fine δ never fires either.
+            let locked_at = locked_at.unwrap();
+            for k in (locked_at + 1)..(locked_at + 25) {
+                let err = duo.run_bp(k);
+                prop_assert!(duo.nodes[1].guard_locked, "lock lost at BP {}", k);
+                prop_assert!(err < duo.config.guard_fine_us,
+                    "locked error {} µs at BP {}", err, k);
+            }
+            prop_assert_eq!(duo.nodes[1].stats.guard_rejections, 0);
+        }
+
+        /// Reset on rejoin: a locked member that leaves and rejoins drops
+        /// the lock, re-enters the coarse phase (silent, unsynchronized),
+        /// and re-locks through the same coarse → fine path.
+        #[test]
+        fn rejoin_resets_lock_and_reruns_coarse_phase(
+            rate in 0.9995f64..1.0005,
+            phase in -1_000.0f64..1_000.0,
+        ) {
+            let mut duo = Duo::new(ProtocolConfig::paper(), rate, phase);
+            duo.elect_node0();
+            let locked_at = drive_until_locked(&mut duo, 1, 40);
+            prop_assert!(locked_at.is_some());
+            let k0 = locked_at.unwrap() + 1;
+
+            let t = bp_time(k0 as f64);
+            duo.with_ctx(1, t, |n, ctx| {
+                n.on_leave(ctx);
+                n.on_join(ctx);
+            });
+            prop_assert!(!duo.nodes[1].guard_locked, "rejoin must drop the lock");
+            prop_assert!(!duo.nodes[1].is_synchronized());
+            prop_assert!(matches!(duo.nodes[1].phase, Phase::Coarse { .. }));
+            // Coarse-phase stations do not beacon.
+            let intent = duo.with_ctx(1, t, |n, ctx| n.intent(ctx));
+            prop_assert_eq!(intent, BeaconIntent::Silent);
+
+            // The coarse scan must complete and hand over to a fresh fine
+            // lock within scan + convergence BPs.
+            let deadline = k0 + duo.config.coarse_scan_bps as u64 + 40;
+            let relocked = drive_until_locked(&mut duo, k0, deadline);
+            prop_assert!(relocked.is_some(), "member never re-locked after rejoin");
+            prop_assert!(duo.nodes[1].is_synchronized());
+            // Re-lock goes through exactly one coarse completion.
+            prop_assert_eq!(duo.nodes[1].stats.coarse_syncs, 1);
+        }
+    }
+}

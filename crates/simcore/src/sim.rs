@@ -38,6 +38,7 @@ pub struct Simulator<E> {
     horizon: SimTime,
     events_processed: u64,
     event_budget: u64,
+    probe: Option<Box<dyn FnMut(SimTime, u64)>>,
 }
 
 impl<E> Simulator<E> {
@@ -50,7 +51,24 @@ impl<E> Simulator<E> {
             horizon,
             events_processed: 0,
             event_budget: u64::MAX,
+            probe: None,
         }
+    }
+
+    /// Install an observation probe called once per delivered event, before
+    /// the handler, with the event time and the running event count.
+    ///
+    /// Probes are passive instrumentation: they cannot schedule, cancel, or
+    /// halt. Fault-injection and invariant-checking layers use this to watch
+    /// the event stream (e.g. assert delivery-time monotonicity) without
+    /// perturbing the run.
+    pub fn set_probe(&mut self, probe: Box<dyn FnMut(SimTime, u64)>) {
+        self.probe = Some(probe);
+    }
+
+    /// Remove the probe, returning it.
+    pub fn take_probe(&mut self) -> Option<Box<dyn FnMut(SimTime, u64)>> {
+        self.probe.take()
     }
 
     /// Cap the total number of events processed; exceeded budgets stop the
@@ -130,6 +148,10 @@ impl<E> Simulator<E> {
             );
             self.now = ev.time;
             self.events_processed += 1;
+            if let Some(mut probe) = self.probe.take() {
+                probe(ev.time, self.events_processed);
+                self.probe = Some(probe);
+            }
             if handler(self, ev) == SimControl::Halt {
                 return StopReason::Halted;
             }
@@ -238,6 +260,55 @@ mod tests {
         });
         assert_eq!(reason, StopReason::BudgetExhausted);
         assert_eq!(sim.events_processed(), 10);
+    }
+
+    #[test]
+    fn probe_sees_every_event_in_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<(SimTime, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let mut sim = Simulator::new(SimTime::from_secs(1));
+        sim.set_probe(Box::new(move |t, n| sink.borrow_mut().push((t, n))));
+        sim.schedule_at(SimTime::from_ms(30), Ev::Tick(3));
+        sim.schedule_at(SimTime::from_ms(10), Ev::Tick(1));
+        sim.schedule_at(SimTime::from_ms(20), Ev::Tick(2));
+        sim.run(|_, _| SimControl::Continue);
+        let seen = seen.borrow();
+        assert_eq!(
+            *seen,
+            vec![
+                (SimTime::from_ms(10), 1),
+                (SimTime::from_ms(20), 2),
+                (SimTime::from_ms(30), 3),
+            ]
+        );
+        // Passive: a probe observes strictly non-decreasing times.
+        assert!(seen.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn probe_runs_before_handler_and_can_be_removed() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let probe_count = Rc::new(Cell::new(0u32));
+        let pc = Rc::clone(&probe_count);
+        let mut sim = Simulator::new(SimTime::from_secs(1));
+        sim.set_probe(Box::new(move |_, _| pc.set(pc.get() + 1)));
+        sim.schedule_at(SimTime::from_ms(1), Ev::Tick(1));
+        sim.schedule_at(SimTime::from_ms(2), Ev::Tick(2));
+        let mut handler_count = 0u32;
+        sim.run(|sim, _| {
+            handler_count += 1;
+            if handler_count == 1 {
+                // By the time the handler runs, the probe has already fired.
+                assert_eq!(probe_count.get(), 1);
+                assert!(sim.take_probe().is_some());
+            }
+            SimControl::Continue
+        });
+        assert_eq!(handler_count, 2);
+        assert_eq!(probe_count.get(), 1, "removed probe stops firing");
     }
 
     #[test]

@@ -63,6 +63,11 @@ pub struct Channel {
     /// Packet error rate per (beacon, receiver) pair. The paper sets
     /// 0.01 % = 1e-4.
     per: f64,
+    /// Additional, usually transient, loss probability injected by a fault
+    /// layer (burst interference, deep fades). Composed with `per` as
+    /// independent loss causes in a single RNG draw so that enabling it
+    /// does not change the number of draws on the channel-error stream.
+    burst_loss: f64,
     /// When true, every transmission in the current window is destroyed.
     jammed: bool,
 }
@@ -74,7 +79,11 @@ impl Channel {
     /// Panics unless `0 ≤ per < 1`.
     pub fn new(per: f64) -> Self {
         assert!((0.0..1.0).contains(&per), "PER must be in [0, 1)");
-        Channel { per, jammed: false }
+        Channel {
+            per,
+            burst_loss: 0.0,
+            jammed: false,
+        }
     }
 
     /// The paper's channel: PER = 0.01 %.
@@ -90,6 +99,20 @@ impl Channel {
     /// Packet error rate in force.
     pub fn per(&self) -> f64 {
         self.per
+    }
+
+    /// Set the fault-injected burst loss probability (0 disables it).
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`; `p = 1` models a total blackout.
+    pub fn set_burst_loss(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "burst loss must be in [0, 1]");
+        self.burst_loss = p;
+    }
+
+    /// Burst loss probability currently in force.
+    pub fn burst_loss(&self) -> f64 {
+        self.burst_loss
     }
 
     /// Engage / release the jammer.
@@ -152,7 +175,9 @@ impl Channel {
     /// per receiver; the RNG must be the channel-error stream so results
     /// are independent of unrelated randomness.
     pub fn deliver<R: Rng + ?Sized>(&self, rng: &mut R) -> Delivery {
-        if self.per > 0.0 && rng.random_range(0.0..1.0) < self.per {
+        // Independent loss causes: survive both the base PER and any burst.
+        let loss = self.per + self.burst_loss - self.per * self.burst_loss;
+        if loss > 0.0 && rng.random_range(0.0..1.0) < loss {
             Delivery::Lost
         } else {
             Delivery::Received
@@ -279,5 +304,54 @@ mod tests {
     #[should_panic(expected = "PER must be in")]
     fn invalid_per_rejected() {
         let _ = Channel::new(1.0);
+    }
+
+    #[test]
+    fn zero_burst_loss_preserves_draw_count() {
+        // A channel with burst loss explicitly set to 0 must consume the
+        // channel-error stream exactly as one that never touched it —
+        // otherwise enabling the fault layer would shift all downstream
+        // randomness even in fault-free windows.
+        let plain = Channel::new(0.05);
+        let mut touched = Channel::new(0.05);
+        touched.set_burst_loss(0.3);
+        touched.set_burst_loss(0.0);
+        let mut rng_a = ChaCha12Rng::seed_from_u64(42);
+        let mut rng_b = ChaCha12Rng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            assert_eq!(plain.deliver(&mut rng_a), touched.deliver(&mut rng_b));
+        }
+    }
+
+    #[test]
+    fn burst_loss_composes_with_per() {
+        let mut ch = Channel::new(0.1);
+        ch.set_burst_loss(0.5);
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let n = 200_000;
+        let lost = (0..n)
+            .filter(|_| ch.deliver(&mut rng) == Delivery::Lost)
+            .count();
+        let rate = lost as f64 / n as f64;
+        // Independent causes: 1 − (1 − 0.1)(1 − 0.5) = 0.55.
+        assert!((rate - 0.55).abs() < 0.01, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn total_burst_loss_blacks_out_channel() {
+        let mut ch = Channel::lossless();
+        ch.set_burst_loss(1.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(ch.deliver(&mut rng), Delivery::Lost);
+        }
+        ch.set_burst_loss(0.0);
+        assert_eq!(ch.deliver(&mut rng), Delivery::Received);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst loss must be in")]
+    fn invalid_burst_loss_rejected() {
+        Channel::lossless().set_burst_loss(1.5);
     }
 }

@@ -8,11 +8,34 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "==> default-members covers the workspace (plain 'cargo test' is not a no-op)"
+# Vendored offline deps (vendor/*) are auto-members of the workspace but
+# deliberately not default members; every first-party crate must be one.
+meta=$(cargo metadata --no-deps --format-version 1)
+members=$(printf '%s' "$meta" | grep -o '"workspace_members":\[[^]]*\]' |
+    grep -o 'path+file[^"]*' | grep -cv '/vendor/')
+defaults=$(printf '%s' "$meta" | grep -o '"workspace_default_members":\[[^]]*\]' |
+    grep -o 'path+file[^"]*' | grep -cv '/vendor/')
+if [ "$members" -eq 0 ] || [ "$members" != "$defaults" ]; then
+    echo "ERROR: workspace has $members first-party members but only $defaults default members —" >&2
+    echo "a plain 'cargo test' would silently skip crates (fix default-members in Cargo.toml)" >&2
+    exit 1
+fi
+
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> cargo test -q -p sstsp-faults --features mutation-hooks (planted-bug mutation check)"
+cargo test -q -p sstsp-faults --features mutation-hooks
+
+echo "==> fault-matrix smoke (one run per fault class, invariant-checked)"
+cargo run --release -q -p sstsp-faults --bin scenario_fuzz -- matrix
+
+echo "==> scenario fuzz (fixed seed, bounded iterations)"
+cargo run --release -q -p sstsp-faults --bin scenario_fuzz -- fuzz --iters 10 --seed 2006
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
