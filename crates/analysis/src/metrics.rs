@@ -57,9 +57,14 @@ impl SpreadTracker {
         self.series
     }
 
-    /// Largest spread observed so far.
-    pub fn peak(&self) -> f64 {
-        self.peak
+    /// Largest spread observed so far, `None` before any sample.
+    ///
+    /// An empty tracker used to report `0.0` — indistinguishable from a run
+    /// whose clocks agreed perfectly at every sample, which is the *best*
+    /// possible outcome rather than "no data". Callers must now decide
+    /// explicitly what an unsampled run means.
+    pub fn peak(&self) -> Option<f64> {
+        (!self.series.is_empty()).then_some(self.peak)
     }
 }
 
@@ -118,9 +123,20 @@ mod tests {
         let mut t = SpreadTracker::new("test");
         t.sample(SimTime::from_secs(1), &[0.0, 30.0]);
         t.sample(SimTime::from_secs(2), &[0.0, 10.0]);
-        assert_eq!(t.peak(), 30.0);
+        assert_eq!(t.peak(), Some(30.0));
         assert_eq!(t.series().len(), 2);
         assert_eq!(t.series().values(), &[30.0, 10.0]);
+    }
+
+    #[test]
+    fn empty_tracker_peak_is_none_not_zero() {
+        // Regression: "never sampled" used to read as a perfect 0.0 peak.
+        let t = SpreadTracker::new("empty");
+        assert_eq!(t.peak(), None);
+        // A sampled run that genuinely agrees reports Some(0.0) — distinct.
+        let mut t = SpreadTracker::new("agree");
+        t.sample(SimTime::from_secs(1), &[5.0, 5.0]);
+        assert_eq!(t.peak(), Some(0.0));
     }
 
     #[test]

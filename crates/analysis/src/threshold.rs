@@ -157,7 +157,7 @@ mod proptests {
                 data.push(evil_bias + i as f64);
             }
             if let Some(mean) = f.filtered_mean(&data) {
-                prop_assert!(mean >= -10.0 && mean <= 10.0,
+                prop_assert!((-10.0..=10.0).contains(&mean),
                     "estimate {mean} escaped honest range");
             }
         }

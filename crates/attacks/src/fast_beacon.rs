@@ -298,7 +298,7 @@ mod tests {
             let local = 420e6 + k as f64 * 100_000.0;
             let b = a.make_beacon(&mut env.ctx(local));
             let err = a.clock_us(local) - b.body().timestamp_us as f64;
-            assert!(err >= 30.0 && err < 31.0, "error drifted to {err}");
+            assert!((30.0..31.0).contains(&err), "error drifted to {err}");
         }
     }
 

@@ -22,6 +22,18 @@
 //! speedups when both are present. `--out <path>` overrides the output
 //! location. All workloads are fixed-seed, so any change in the numbers
 //! is a change in the code, not in the work.
+//!
+//! A full run also measures the engine workload with telemetry recording
+//! enabled and records the off/on pair (plus overhead percentage) in the
+//! `telemetry` block — the disabled path is the one the goldens and every
+//! experiment run on, so its cost must stay at one relaxed atomic load per
+//! instrumented site.
+//!
+//! `--smoke` instead runs a short telemetry-**disabled** engine measurement
+//! and fails (exit 1) if throughput fell below `SSTSP_SMOKE_TOL`
+//! (default 0.98, i.e. a >2% regression) times the recorded
+//! `after.bps_per_sec`; nothing is written. This is the CI guard that the
+//! telemetry layer stays free when off.
 
 use sstsp::sweep::run_seeds;
 use sstsp::{Network, ProtocolKind, ScenarioConfig};
@@ -45,7 +57,7 @@ struct Measurement {
     hashes_per_sec: f64,
 }
 
-fn measure_engine() -> f64 {
+fn measure_engine_for(min_s: f64) -> f64 {
     let cfg = ScenarioConfig::new(
         ProtocolKind::Sstsp,
         ENGINE_NODES,
@@ -57,11 +69,50 @@ fn measure_engine() -> f64 {
     std::hint::black_box(Network::build(&cfg).run());
     let t0 = Instant::now();
     let mut runs = 0u64;
-    while t0.elapsed().as_secs_f64() < MIN_MEASURE_S {
+    while t0.elapsed().as_secs_f64() < min_s {
         std::hint::black_box(Network::build(&cfg).run());
         runs += 1;
     }
     (runs * bps_per_run) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn measure_engine() -> f64 {
+    measure_engine_for(MIN_MEASURE_S)
+}
+
+/// The engine workload with metrics recording live (counters, gauges,
+/// spread distribution — no trace hook, matching how a sweep would record).
+fn measure_engine_telemetry_on() -> f64 {
+    let _guard = sstsp_telemetry::recording();
+    measure_engine_for(MIN_MEASURE_S)
+}
+
+/// Short telemetry-disabled engine check against the recorded baseline.
+/// Exits 1 on a regression beyond tolerance, 0 otherwise.
+fn run_smoke(out: &str) -> ! {
+    let baseline = std::fs::read_to_string(out)
+        .ok()
+        .and_then(|json| extract_block(&json, "after"))
+        .and_then(|block| extract_number(&block, "bps_per_sec"));
+    let Some(baseline) = baseline else {
+        eprintln!("smoke: no after.bps_per_sec baseline in {out}; nothing to compare");
+        std::process::exit(0)
+    };
+    let tol: f64 = std::env::var("SSTSP_SMOKE_TOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.98);
+    let measured = measure_engine_for(1.0);
+    let ratio = measured / baseline;
+    eprintln!(
+        "smoke: {measured:.1} BPs/sec vs baseline {baseline:.1} (ratio {ratio:.3}, tolerance {tol})"
+    );
+    if ratio < tol {
+        eprintln!("smoke: FAIL — telemetry-disabled engine path regressed beyond tolerance");
+        std::process::exit(1)
+    }
+    eprintln!("smoke: ok");
+    std::process::exit(0)
 }
 
 fn measure_sweep() -> f64 {
@@ -138,6 +189,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut label = "after".to_string();
     let mut out = format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR"));
+    let mut smoke = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -149,9 +201,13 @@ fn main() {
                 out = args.get(i + 1).expect("--out needs a value").clone();
                 i += 2;
             }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf_baseline [--label before|after] [--out path]");
+                eprintln!("usage: perf_baseline [--label before|after] [--out path] [--smoke]");
                 std::process::exit(2);
             }
         }
@@ -160,6 +216,9 @@ fn main() {
         label == "before" || label == "after",
         "--label must be 'before' or 'after'"
     );
+    if smoke {
+        run_smoke(&out);
+    }
 
     eprintln!(
         "measuring engine ({} nodes, {} s, seed {}) ...",
@@ -178,6 +237,10 @@ fn main() {
     eprintln!("measuring chain_step throughput ...");
     let hashes_per_sec = measure_hashes();
     eprintln!("  {hashes_per_sec:.0} hashes/sec");
+    eprintln!("measuring engine with telemetry recording enabled ...");
+    let bps_telemetry_on = measure_engine_telemetry_on();
+    let overhead_pct = (1.0 - bps_telemetry_on / bps_per_sec) * 100.0;
+    eprintln!("  {bps_telemetry_on:.1} BPs/sec ({overhead_pct:.1}% overhead)");
 
     let m = Measurement {
         bps_per_sec,
@@ -208,6 +271,9 @@ fn main() {
     if let Some(a) = &after_block {
         body.push_str(&format!("  \"after\": {a},\n"));
     }
+    body.push_str(&format!(
+        "  \"telemetry\": {{\n    \"bps_per_sec_off\": {bps_per_sec:.1},\n    \"bps_per_sec_on\": {bps_telemetry_on:.1},\n    \"overhead_pct\": {overhead_pct:.2}\n  }},\n"
+    ));
     if let (Some(b), Some(a)) = (&before_block, &after_block) {
         let speedup = |field: &str| -> Option<f64> {
             Some(extract_number(a, field)? / extract_number(b, field)?)

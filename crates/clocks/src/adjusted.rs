@@ -199,6 +199,7 @@ mod tests {
 
     /// The paper's closed-form expressions for kʲ and bʲ (Sec. 3.3),
     /// transcribed verbatim for cross-validation.
+    #[allow(clippy::too_many_arguments)]
     fn paper_closed_form(
         k_prev: f64,
         b_prev: f64,

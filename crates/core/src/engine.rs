@@ -34,10 +34,20 @@ use protocols::{AspNode, AtspNode, RkNode, SatsfNode, SstspNode, TatspNode, TsfN
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use simcore::rng::StreamDomain;
-use simcore::{RngStreams, SimControl, SimDuration, SimTime, Simulator, TimeSeries};
+use simcore::{CountingRng, RngStreams, SimControl, SimDuration, SimTime, Simulator, TimeSeries};
+use sstsp_telemetry as telemetry;
 use sync_analysis::{SpreadTracker, SyncCriterion};
 use wireless::{
     resolve_multihop, Channel, Delivery, MhAttempt, PhyParams, Topology, TxAttempt, WindowOutcome,
+};
+
+/// Binning of the per-BP spread distribution recorded into telemetry:
+/// 0.5 µs resolution up to 500 µs; larger spreads land in the overflow
+/// bucket and surface as an `>=hi` tail in rendered snapshots.
+const SPREAD_DIST: telemetry::DistSpec = telemetry::DistSpec {
+    lo: 0.0,
+    hi: 500.0,
+    bins: 1000,
 };
 
 /// Aggregate outcome of one simulation run.
@@ -315,14 +325,19 @@ impl Network {
             honest,
             mut proto_rngs,
             mut backoff_rngs,
-            mut chan_rng,
-            mut jitter_rng,
+            chan_rng,
+            jitter_rng,
             mut scenario_rng,
             mut anchors,
             topology,
             mut scratch,
             ..
         } = self;
+        // Transparent draw-count wrappers: the wrapped streams are
+        // bit-identical to the bare ones, so telemetry on RNG consumption
+        // cannot perturb the run.
+        let mut chan_rng = CountingRng::new(chan_rng);
+        let mut jitter_rng = CountingRng::new(jitter_rng);
 
         // Node initiation (hash-chain generation + anchor publication).
         for id in 0..scenario.n_nodes {
@@ -502,9 +517,13 @@ impl Network {
                     }
 
                     match channel.resolve_window(attempts) {
-                        WindowOutcome::Silent => silent_windows += 1,
+                        WindowOutcome::Silent => {
+                            silent_windows += 1;
+                            telemetry::counter_add("engine.window.silent", 1);
+                        }
                         WindowOutcome::Jammed { victims } => {
                             jammed_windows += 1;
+                            telemetry::counter_add("engine.window.jammed", 1);
                             for id in victims {
                                 let local = oscs[id as usize].local_us(t0);
                                 let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
@@ -513,6 +532,7 @@ impl Network {
                         }
                         WindowOutcome::Collision { colliders, .. } => {
                             tx_collisions += 1;
+                            telemetry::counter_add("engine.window.collision", 1);
                             for id in colliders {
                                 let local = oscs[id as usize].local_us(t0);
                                 let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
@@ -521,7 +541,12 @@ impl Network {
                         }
                         WindowOutcome::Success { winner, slot } => {
                             tx_successes += 1;
+                            telemetry::counter_add("engine.window.success", 1);
+                            telemetry::counter_add("engine.beacon.tx", 1);
                             let t_tx = t0 + window.delay_of(slot);
+                            if active {
+                                hook.on_beacon_tx(k, winner, t_tx);
+                            }
                             // Sub-µs hardware timestamping jitter.
                             let jitter =
                                 jitter_rng.random_range(0.0..=scenario.timestamp_jitter_us);
@@ -542,7 +567,9 @@ impl Network {
                                 if id == winner || !present[id as usize] {
                                     continue;
                                 }
+                                telemetry::counter_add("engine.beacon.rx_attempt", 1);
                                 if channel.deliver(&mut chan_rng) == Delivery::Lost {
+                                    telemetry::counter_add("engine.beacon.rx_lost", 1);
                                     continue;
                                 }
                                 // Each receiver processes its own copy: a
@@ -559,8 +586,10 @@ impl Network {
                                 if active
                                     && hook.on_delivery(&dctx, &mut payload) == DeliveryFate::Drop
                                 {
+                                    telemetry::counter_add("engine.beacon.rx_hook_dropped", 1);
                                     continue;
                                 }
+                                telemetry::counter_add("engine.beacon.rx_delivered", 1);
                                 // Receiver-side timestamping noise: each
                                 // station stamps the arrival with its own
                                 // hardware path, contributing (with the
@@ -641,6 +670,7 @@ impl Network {
 
                     if channel.is_jammed() {
                         jammed_windows += 1;
+                        telemetry::counter_add("engine.window.jammed", 1);
                         for a in attempts.iter() {
                             if !a.relay {
                                 let local = oscs[a.station as usize].local_us(t0);
@@ -651,6 +681,7 @@ impl Network {
                         }
                     } else if attempts.is_empty() {
                         silent_windows += 1;
+                        telemetry::counter_add("engine.window.silent", 1);
                     } else {
                         let airtime_slots = pcfg.beacon_airtime_slots;
                         let out = resolve_multihop(topo, attempts, airtime_slots);
@@ -660,6 +691,10 @@ impl Network {
                         scratch.payloads.fill(None);
                         for &(station, slot) in &out.transmissions {
                             let t_tx = t0 + window.delay_of(slot);
+                            telemetry::counter_add("engine.beacon.tx", 1);
+                            if active {
+                                hook.on_beacon_tx(k, station, t_tx);
+                            }
                             let jitter =
                                 jitter_rng.random_range(0.0..=scenario.timestamp_jitter_us);
                             let tx_local = oscs[station as usize].local_us(t_tx) + jitter;
@@ -678,8 +713,10 @@ impl Network {
                             let ok = scratch.reached[station as usize];
                             if ok {
                                 tx_successes += 1;
+                                telemetry::counter_add("engine.window.success", 1);
                             } else {
                                 tx_collisions += 1;
+                                telemetry::counter_add("engine.window.collision", 1);
                             }
                             let local = oscs[station as usize].local_us(t0);
                             let mut ctx =
@@ -693,7 +730,9 @@ impl Network {
                             if !present[d.rx as usize] {
                                 continue;
                             }
+                            telemetry::counter_add("engine.beacon.rx_attempt", 1);
                             if channel.deliver(&mut chan_rng) == Delivery::Lost {
+                                telemetry::counter_add("engine.beacon.rx_lost", 1);
                                 continue;
                             }
                             let mut payload = scratch.payloads[d.tx as usize]
@@ -713,8 +752,10 @@ impl Network {
                             };
                             if active && hook.on_delivery(&dctx, &mut payload) == DeliveryFate::Drop
                             {
+                                telemetry::counter_add("engine.beacon.rx_hook_dropped", 1);
                                 continue;
                             }
+                            telemetry::counter_add("engine.beacon.rx_delivered", 1);
                             let rx_jitter =
                                 jitter_rng.random_range(0.0..=scenario.timestamp_jitter_us);
                             let local_rx = oscs[d.rx as usize].local_us(t_rx) + rx_jitter;
@@ -776,6 +817,11 @@ impl Network {
                 }
             }
             tracker.sample(t_end, &scratch.clocks);
+            if telemetry::enabled() {
+                if let Some(&spread) = tracker.series().values().last() {
+                    telemetry::dist_record("engine.spread_us", SPREAD_DIST, spread);
+                }
+            }
 
             let current_ref = (0..scenario.n_nodes)
                 .find(|&id| present[id as usize] && nodes[id as usize].is_reference());
@@ -833,6 +879,13 @@ impl Network {
             SimControl::Continue
         });
 
+        // Run-level simcore telemetry: event-loop pressure and RNG
+        // consumption. Gauges high-water across a sweep; counters sum.
+        telemetry::gauge_max("engine.sim.events", sim.events_processed());
+        telemetry::gauge_max("engine.queue.peak_pending", sim.peak_pending() as u64);
+        telemetry::counter_add("engine.rng.chan_draws", chan_rng.draws());
+        telemetry::counter_add("engine.rng.jitter_draws", jitter_rng.draws());
+
         let mut guard_rejections = 0u64;
         let mut mutesla_rejections = 0u64;
         let mut retargets = 0u64;
@@ -849,23 +902,28 @@ impl Network {
             }
         }
 
-        if std::env::var_os("SSTSP_DEBUG_MH").is_some() {
+        // Per-node end-of-run dump, formerly an `SSTSP_DEBUG_MH`-gated
+        // eprintln. Routed through the structured log instead: silent by
+        // default, on stderr with `SSTSP_LOG=debug`, capturable in tests.
+        {
             let t_dbg = horizon - SimDuration::from_us(1);
             let ref_clock = (0..scenario.n_nodes as usize)
                 .find(|&i| present[i] && nodes[i].is_reference())
                 .map(|i| nodes[i].clock_us(oscs[i].local_us(t_dbg)));
             for i in 0..scenario.n_nodes as usize {
-                let st = nodes[i].sstsp_stats();
-                let c = nodes[i].clock_us(oscs[i].local_us(t_dbg));
-                eprintln!(
-                    "node {i}: present={} sync={} isref={} follows={:?} err_us={:.1} stats={:?}",
-                    present[i],
-                    nodes[i].is_synchronized(),
-                    nodes[i].is_reference(),
-                    nodes[i].current_reference(),
-                    ref_clock.map_or(f64::NAN, |rc| c - rc),
-                    st.map(|s| (s.retargets, s.guard_rejections, s.mutesla_rejections)),
-                );
+                telemetry::log::debug("engine.run_end", || {
+                    let st = nodes[i].sstsp_stats();
+                    let c = nodes[i].clock_us(oscs[i].local_us(t_dbg));
+                    format!(
+                        "node {i}: present={} sync={} isref={} follows={:?} err_us={:.1} stats={:?}",
+                        present[i],
+                        nodes[i].is_synchronized(),
+                        nodes[i].is_reference(),
+                        nodes[i].current_reference(),
+                        ref_clock.map_or(f64::NAN, |rc| c - rc),
+                        st.map(|s| (s.retargets, s.guard_rejections, s.mutesla_rejections)),
+                    )
+                });
             }
         }
 
@@ -893,7 +951,11 @@ impl Network {
         let criterion = SyncCriterion::default();
         let sync_latency_s = criterion.latency(tracker.series()).map(|t| t.as_secs_f64());
         let steady_error_us = criterion.steady_state_error(tracker.series());
-        let peak = tracker.peak();
+        // The BP handler samples the tracker every BP, and every scenario
+        // runs at least one BP, so an empty tracker here is a logic error.
+        let peak = tracker
+            .peak()
+            .expect("spread tracker sampled at least once per run");
         let result = RunResult {
             spread: tracker.into_series(),
             sync_latency_s,

@@ -178,6 +178,11 @@ pub trait EngineHook {
     /// to mutate the network. Applied in order, before the beacon window.
     fn on_bp_start(&mut self, _bp: u64, _t0: SimTime, _actions: &mut Vec<FaultAction>) {}
 
+    /// Called once per transmitted beacon (after the contention window
+    /// resolves, before per-receiver deliveries). Trace recorders use this
+    /// to log the send side; deliveries are observed per-receiver.
+    fn on_beacon_tx(&mut self, _bp: u64, _src: NodeId, _t_tx: SimTime) {}
+
     /// Called for each beacon delivery before the receiver processes it.
     /// The hook may mutate the payload (corruption faults) or drop it.
     fn on_delivery(&mut self, _ctx: &DeliveryCtx, _payload: &mut BeaconPayload) -> DeliveryFate {

@@ -43,8 +43,10 @@ pub mod invariants;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
+pub mod trace;
 
 pub use engine::{Network, RunResult};
 pub use instrument::{EngineHook, NoopHook};
 pub use invariants::{run_checked, InvariantChecker, Violation};
 pub use scenario::{AttackerSpec, ChurnConfig, ProtocolKind, ScenarioConfig};
+pub use trace::TraceRecorder;

@@ -1,0 +1,226 @@
+//! Engine-side trace recording.
+//!
+//! [`TraceRecorder`] is an [`EngineHook`] that turns the hook callbacks into
+//! an ordered sequence of [`TraceEvent`]s (the event model and JSONL
+//! encoding live in `sstsp_telemetry::trace`). It is purely observational:
+//! it never mutates payloads, never drops deliveries, and never emits fault
+//! actions, so — like any passive hook — a recorded run is bit-identical to
+//! an unrecorded one.
+//!
+//! Receiver outcomes are classified from the SSTSP diagnostic-counter
+//! deltas around each delivery, the same evidence the invariant checker
+//! uses. Protocols without stats classify as [`RxOutcome::Ignored`].
+
+use crate::engine::RunResult;
+use crate::instrument::{BpView, DeliveryCtx, DeliveryFate, DeliveryObs, EngineHook};
+use crate::scenario::ScenarioConfig;
+use protocols::api::{AnchorRegistry, BeaconPayload, NodeId};
+use protocols::sstsp::SstspStats;
+use simcore::SimTime;
+use sstsp_telemetry::{RxOutcome, TraceEvent};
+
+/// Classify what a receiver did with one beacon from its stats deltas.
+///
+/// Rejection counters are checked before acceptance: a single delivery
+/// moves at most one rejection counter, and the priority order only matters
+/// when a protocol bumps several at once (which SSTSP never does).
+pub fn classify_rx(before: Option<SstspStats>, after: Option<SstspStats>) -> RxOutcome {
+    let (Some(b), Some(a)) = (before, after) else {
+        return RxOutcome::Ignored;
+    };
+    if a.guard_rejections > b.guard_rejections {
+        RxOutcome::GuardReject
+    } else if a.mutesla_rejections > b.mutesla_rejections {
+        RxOutcome::MuteslaReject
+    } else if a.unknown_anchor > b.unknown_anchor {
+        RxOutcome::UnknownAnchor
+    } else if a.accepted > b.accepted {
+        RxOutcome::Accept {
+            retarget: a.retargets > b.retargets,
+        }
+    } else if a.coarse_syncs > b.coarse_syncs {
+        RxOutcome::CoarseSync
+    } else {
+        RxOutcome::Ignored
+    }
+}
+
+/// Spread of the honest, present, synchronized clocks in a BP view —
+/// `None` when fewer than two stations qualify (distinct from a genuine
+/// zero-spread agreement).
+fn view_spread_us(view: &BpView<'_>) -> Option<f64> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut n = 0usize;
+    for s in view.nodes {
+        if s.present && s.honest && s.synchronized {
+            lo = lo.min(s.clock_us);
+            hi = hi.max(s.clock_us);
+            n += 1;
+        }
+    }
+    (n >= 2).then_some(hi - lo)
+}
+
+/// A passive [`EngineHook`] that records the run as a [`TraceEvent`] list.
+#[derive(Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+    last_reference: Option<NodeId>,
+}
+
+impl TraceRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an event out-of-band (fault layers use this to interleave
+    /// their own observations — hook drops, invariant violations — at the
+    /// position in the stream where they happened).
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// The recorded events so far.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consume the recorder, returning the recorded events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl EngineHook for TraceRecorder {
+    fn on_run_start(&mut self, scenario: &ScenarioConfig, _anchors: &AnchorRegistry) {
+        self.events.push(TraceEvent::RunStart {
+            protocol: scenario.protocol.name().to_string(),
+            n_nodes: scenario.n_nodes,
+            seed: scenario.seed,
+        });
+    }
+
+    fn on_beacon_tx(&mut self, bp: u64, src: NodeId, _t_tx: SimTime) {
+        self.events.push(TraceEvent::BeaconTx { bp, src });
+    }
+
+    fn on_delivery(&mut self, _ctx: &DeliveryCtx, _payload: &mut BeaconPayload) -> DeliveryFate {
+        DeliveryFate::Deliver
+    }
+
+    fn post_delivery(&mut self, obs: &DeliveryObs<'_>) {
+        self.events.push(TraceEvent::BeaconRx {
+            bp: obs.ctx.bp,
+            src: obs.ctx.src,
+            dst: obs.ctx.dst,
+            t_rx_us: obs.ctx.t_rx.as_us_f64(),
+            clock_before_us: obs.clock_before_us,
+            outcome: classify_rx(obs.stats_before, obs.stats_after),
+        });
+    }
+
+    fn on_bp_end(&mut self, view: &BpView<'_>) {
+        if view.reference != self.last_reference {
+            self.events.push(TraceEvent::RefChange {
+                bp: view.bp,
+                from: self.last_reference,
+                to: view.reference,
+            });
+            self.last_reference = view.reference;
+        }
+        self.events.push(TraceEvent::BpEnd {
+            bp: view.bp,
+            spread_us: view_spread_us(view),
+            reference: view.reference,
+            disturbed: view.disturbed,
+        });
+    }
+
+    fn on_run_end(&mut self, result: &RunResult) {
+        self.events.push(TraceEvent::RunEnd {
+            tx_successes: result.tx_successes,
+            tx_collisions: result.tx_collisions,
+            guard_rejections: result.guard_rejections,
+            mutesla_rejections: result.mutesla_rejections,
+            retargets: result.retargets,
+            peak_spread_us: result.peak_spread_us,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Network;
+    use crate::scenario::ProtocolKind;
+
+    #[test]
+    fn classification_priority_and_retarget_flag() {
+        let b = SstspStats::default();
+        assert_eq!(classify_rx(None, None), RxOutcome::Ignored);
+        assert_eq!(classify_rx(Some(b), Some(b)), RxOutcome::Ignored);
+        let mut a = b;
+        a.guard_rejections += 1;
+        assert_eq!(classify_rx(Some(b), Some(a)), RxOutcome::GuardReject);
+        let mut a = b;
+        a.mutesla_rejections += 1;
+        assert_eq!(classify_rx(Some(b), Some(a)), RxOutcome::MuteslaReject);
+        let mut a = b;
+        a.unknown_anchor += 1;
+        assert_eq!(classify_rx(Some(b), Some(a)), RxOutcome::UnknownAnchor);
+        let mut a = b;
+        a.accepted += 1;
+        assert_eq!(
+            classify_rx(Some(b), Some(a)),
+            RxOutcome::Accept { retarget: false }
+        );
+        a.retargets += 1;
+        assert_eq!(
+            classify_rx(Some(b), Some(a)),
+            RxOutcome::Accept { retarget: true }
+        );
+        let mut a = b;
+        a.coarse_syncs += 1;
+        assert_eq!(classify_rx(Some(b), Some(a)), RxOutcome::CoarseSync);
+    }
+
+    #[test]
+    fn recorder_produces_a_well_formed_trace() {
+        let cfg = ScenarioConfig::new(ProtocolKind::Sstsp, 5, 6.0, 7);
+        let mut rec = TraceRecorder::new();
+        let result = Network::build(&cfg).run_with_hook(&mut rec);
+        let events = rec.into_events();
+        assert!(matches!(events.first(), Some(TraceEvent::RunStart { .. })));
+        assert!(matches!(events.last(), Some(TraceEvent::RunEnd { .. })));
+        let tx = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::BeaconTx { .. }))
+            .count() as u64;
+        assert_eq!(tx, result.tx_successes, "one tx event per success");
+        let bp_ends = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::BpEnd { .. }))
+            .count() as u64;
+        assert_eq!(bp_ends, cfg.total_bps(), "one bp_end per beacon period");
+        // Accepted deliveries in the trace match the receivers' own counts.
+        let accepts = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::BeaconRx {
+                        outcome: RxOutcome::Accept { .. },
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        assert!(accepts > 0, "a synchronizing run accepts beacons");
+        // The recorder is passive: the run matches an unhooked one.
+        let plain = Network::build(&cfg).run();
+        assert_eq!(result.tx_successes, plain.tx_successes);
+        assert_eq!(result.peak_spread_us, plain.peak_spread_us);
+    }
+}

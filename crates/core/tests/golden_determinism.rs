@@ -164,6 +164,28 @@ fn hooked_runs_are_bit_identical_to_plain_runs() {
     }
 }
 
+/// Telemetry transparency: enabling metrics recording (and attaching the
+/// trace recorder) must leave runs bit-identical to the recorded goldens.
+/// Telemetry observes through counters and the hook seam only — it never
+/// touches the RNG streams or the event queue — so a recorded run IS the
+/// plain run.
+#[test]
+fn telemetry_enabled_runs_match_recorded_goldens() {
+    let _rec = sstsp_telemetry::recording();
+    for golden in &GOLDENS {
+        let r = run(golden.0);
+        assert_golden(&r, golden, &format!("{} (telemetry on)", golden.0.name()));
+    }
+    let mut tracer = sstsp::TraceRecorder::new();
+    let r = Network::build(&multihop_cfg()).run_with_hook(&mut tracer);
+    assert_golden(&r, &GOLDEN_MULTIHOP, "multihop-line (traced)");
+    let snap = sstsp_telemetry::snapshot();
+    assert!(
+        snap.counter("engine.beacon.tx") > 0,
+        "recording session captured engine counters"
+    );
+}
+
 /// Re-running the exact same scenario twice in-process must agree on the
 /// full spread series, not only the summary (catches state leaking across
 /// runs through reused buffers).

@@ -22,6 +22,7 @@ use crate::chain::{chain_step_n, ChainElement, HashChain};
 use crate::fractal::FractalTraverser;
 use crate::hmac::{hmac_sha256_128, mac_eq, Mac128};
 use serde::{Deserialize, Serialize};
+use sstsp_telemetry as telemetry;
 use std::collections::VecDeque;
 
 /// Test-only mutation hooks (compiled under the `mutation-hooks` feature,
@@ -249,6 +250,7 @@ impl MuTeslaSigner {
     pub fn sign(&mut self, payload: &[u8], j: usize) -> BeaconAuth {
         let n = self.schedule.n;
         assert!(j >= 1 && j <= n, "interval out of chain range");
+        telemetry::counter_add("mutesla.sign", 1);
         // Fetch the key (position n-j) first: reaching it emits the
         // disclosed element (position n-j+1) into the recent window.
         let key = self.element_at(n - j);
@@ -350,6 +352,7 @@ impl MuTeslaVerifier {
         // interval (counters replay of old beacons).
         let current = self.schedule.interval_at(now_us);
         if current != Some(auth.interval as usize) {
+            telemetry::counter_add("mutesla.verify.wrong_interval", 1);
             return Err(VerifyError::WrongInterval {
                 claimed: auth.interval,
                 current: current.map(|c| c as u32),
@@ -380,6 +383,7 @@ impl MuTeslaVerifier {
         #[cfg(feature = "mutation-hooks")]
         let valid = valid || mutation::accept_unverified_keys();
         if !valid {
+            telemetry::counter_add("mutesla.verify.bad_key", 1);
             return Err(VerifyError::BadDisclosedKey);
         }
         if key_interval >= 1 {
@@ -416,6 +420,7 @@ impl MuTeslaVerifier {
                     // Buffer the fresh beacon before reporting: the forged
                     // previous beacon must not block future progress.
                     self.pending = Some((auth.interval, payload.to_vec(), auth.mac));
+                    telemetry::counter_add("mutesla.verify.forged_prev", 1);
                     return Err(VerifyError::PreviousBeaconForged);
                 }
             }
@@ -424,6 +429,7 @@ impl MuTeslaVerifier {
         };
 
         self.pending = Some((auth.interval, payload.to_vec(), auth.mac));
+        telemetry::counter_add("mutesla.verify.ok", 1);
         Ok(released)
     }
 

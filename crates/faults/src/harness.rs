@@ -12,14 +12,16 @@
 //! test: *no fault schedule can make a correct implementation accept a
 //! beacon it must reject or move a clock it must not move.*
 
-use protocols::api::{AnchorRegistry, BeaconPayload};
+use protocols::api::{AnchorRegistry, BeaconPayload, NodeId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use simcore::SimTime;
 use sstsp::engine::{Network, RunResult};
 use sstsp::instrument::{BpView, DeliveryCtx, DeliveryFate, DeliveryObs, EngineHook, FaultAction};
-use sstsp::invariants::{InvariantChecker, Violation};
+use sstsp::invariants::{InvariantChecker, InvariantKind, Violation};
 use sstsp::scenario::ScenarioConfig;
+use sstsp::trace::TraceRecorder;
+use sstsp_telemetry::TraceEvent;
 
 use crate::plan::{CorruptField, FaultEvent, FaultKind, FaultPlan, FuzzCase};
 
@@ -198,5 +200,166 @@ pub fn run_case(case: &FuzzCase) -> CaseOutcome {
     CaseOutcome {
         result,
         violations: harness.into_violations(),
+    }
+}
+
+/// Stable snake-case token for an invariant kind in trace output.
+fn invariant_token(kind: InvariantKind) -> &'static str {
+    match kind {
+        InvariantKind::ClockMonotonicity => "clock_monotonicity",
+        InvariantKind::GuardInfluenceBound => "guard_influence_bound",
+        InvariantKind::KeyFreshness => "key_freshness",
+        InvariantKind::SpreadBound => "spread_bound",
+    }
+}
+
+/// [`FaultHarness`] and [`TraceRecorder`] composed into one hook: the fault
+/// plan executes exactly as in [`run_case`] while the recorder captures the
+/// event stream, interleaving the fault layer's own observations — hook
+/// drops and invariant violations — at the position they happened.
+struct TracedHarness {
+    harness: FaultHarness,
+    recorder: TraceRecorder,
+    violations_seen: usize,
+}
+
+impl TracedHarness {
+    /// Mirror checker violations recorded since the last call into the
+    /// trace, in order.
+    fn drain_violations(&mut self) {
+        let all = self.harness.violations();
+        for v in &all[self.violations_seen..] {
+            self.recorder.push(TraceEvent::Violation {
+                bp: v.bp,
+                kind: invariant_token(v.kind).to_string(),
+                node: v.node,
+                detail: v.detail.clone(),
+            });
+        }
+        self.violations_seen = all.len();
+    }
+}
+
+impl EngineHook for TracedHarness {
+    fn on_run_start(&mut self, scenario: &ScenarioConfig, anchors: &AnchorRegistry) {
+        self.harness.on_run_start(scenario, anchors);
+        self.recorder.on_run_start(scenario, anchors);
+    }
+
+    fn on_bp_start(&mut self, bp: u64, t0: SimTime, actions: &mut Vec<FaultAction>) {
+        self.harness.on_bp_start(bp, t0, actions);
+    }
+
+    fn on_beacon_tx(&mut self, bp: u64, src: NodeId, t_tx: SimTime) {
+        self.recorder.on_beacon_tx(bp, src, t_tx);
+    }
+
+    fn on_delivery(&mut self, ctx: &DeliveryCtx, payload: &mut BeaconPayload) -> DeliveryFate {
+        let fate = self.harness.on_delivery(ctx, payload);
+        if fate == DeliveryFate::Drop {
+            self.recorder.push(TraceEvent::HookDrop {
+                bp: ctx.bp,
+                src: ctx.src,
+                dst: ctx.dst,
+            });
+        }
+        fate
+    }
+
+    fn post_delivery(&mut self, obs: &DeliveryObs<'_>) {
+        self.harness.post_delivery(obs);
+        self.recorder.post_delivery(obs);
+        self.drain_violations();
+    }
+
+    fn on_bp_end(&mut self, view: &BpView<'_>) {
+        self.harness.on_bp_end(view);
+        self.drain_violations();
+        self.recorder.on_bp_end(view);
+    }
+
+    fn on_run_end(&mut self, result: &RunResult) {
+        self.harness.on_run_end(result);
+        self.drain_violations();
+        self.recorder.on_run_end(result);
+    }
+}
+
+/// Everything a traced fault run produces.
+pub struct TracedOutcome {
+    /// The run's aggregate result.
+    pub result: RunResult,
+    /// Invariant violations observed under the fault plan.
+    pub violations: Vec<Violation>,
+    /// The full structured trace of the run, violations interleaved.
+    pub events: Vec<TraceEvent>,
+}
+
+/// [`run_case`] with trace recording: same fault execution (the plan's RNG
+/// stream and the engine's are both untouched by the recorder, so the run
+/// is bit-identical to an untraced one), plus the structured event stream.
+pub fn run_case_traced(case: &FuzzCase) -> TracedOutcome {
+    let scenario = case.scenario();
+    let mut hook = TracedHarness {
+        harness: FaultHarness::new(&case.plan, &scenario),
+        recorder: TraceRecorder::new(),
+        violations_seen: 0,
+    };
+    let result = Network::build(&scenario).run_with_hook(&mut hook);
+    let TracedHarness {
+        harness, recorder, ..
+    } = hook;
+    TracedOutcome {
+        result,
+        violations: harness.into_violations(),
+        events: recorder.into_events(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_hook_drops() {
+        // Disclosure loss exercises the hook-drop path; burst loss adds
+        // channel-level losses the recorder must NOT see as hook drops.
+        let case =
+            FuzzCase::from_str("n=6 dur=10 seed=11 m=4 delta=300 plan=5 discloss@5..60:p=0.5")
+                .expect("valid spec");
+        let plain = run_case(&case);
+        let traced = run_case_traced(&case);
+        assert_eq!(plain.result.tx_successes, traced.result.tx_successes);
+        assert_eq!(
+            plain.result.guard_rejections,
+            traced.result.guard_rejections
+        );
+        assert_eq!(
+            plain.result.peak_spread_us, traced.result.peak_spread_us,
+            "recorder perturbed the run"
+        );
+        assert_eq!(plain.violations.len(), traced.violations.len());
+        let drops = traced
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::HookDrop { .. }))
+            .count();
+        assert!(drops > 0, "disclosure-loss plan produced no hook drops");
+        assert!(matches!(
+            traced.events.first(),
+            Some(TraceEvent::RunStart { .. })
+        ));
+        assert!(matches!(
+            traced.events.last(),
+            Some(TraceEvent::RunEnd { .. })
+        ));
+        // Violations in the trace mirror the checker's list one-to-one.
+        let traced_violations = traced
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Violation { .. }))
+            .count();
+        assert_eq!(traced_violations, traced.violations.len());
     }
 }

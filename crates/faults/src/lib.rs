@@ -35,6 +35,6 @@ pub mod plan;
 pub mod shrink;
 
 pub use fuzz::{fuzz, FuzzConfig, FuzzFailure, FuzzReport};
-pub use harness::{run_case, CaseOutcome, FaultHarness};
+pub use harness::{run_case, run_case_traced, CaseOutcome, FaultHarness, TracedOutcome};
 pub use plan::{CorruptField, FaultEvent, FaultKind, FaultPlan, FuzzCase};
 pub use shrink::shrink;

@@ -40,6 +40,7 @@ use clocks::{AdjustedClock, SyncSample};
 use mac80211::frame::BeaconBody;
 use rand::Rng;
 use sstsp_crypto::{ChainElement, IntervalSchedule, MuTeslaSigner, MuTeslaVerifier};
+use sstsp_telemetry as telemetry;
 use std::collections::VecDeque;
 
 /// Retired per-source verifiers kept for reuse. Bounds the cache to the
@@ -342,6 +343,7 @@ impl SstspNode {
         self.missed_bps = 0;
         self.eligible_bps = 0;
         self.stats.elections_won += 1;
+        telemetry::counter_add("sstsp.election.won", 1);
     }
 
     fn step_down(&mut self) {
@@ -446,6 +448,7 @@ impl SstspNode {
         };
         if !takeover && diff > guard {
             self.stats.guard_rejections += 1;
+            telemetry::counter_add("sstsp.reject.guard", 1);
             self.rejections_this_bp += 1;
             // Multi-hop self-correction: persistently rejecting our own
             // upstream means *our* clock left the envelope (a clock frozen
@@ -478,6 +481,7 @@ impl SstspNode {
                 Ok(released) => released,
                 Err(_) => {
                     self.stats.mutesla_rejections += 1;
+                    telemetry::counter_add("sstsp.reject.mutesla", 1);
                     self.rejections_this_bp += 1;
                     return;
                 }
@@ -487,6 +491,7 @@ impl SstspNode {
                 // No authenticated anchor for this sender: an external
                 // attacker, whose beacons cannot be authenticated at all.
                 self.stats.unknown_anchor += 1;
+                telemetry::counter_add("sstsp.reject.unknown_anchor", 1);
                 return;
             };
             // Reuse the retired verifier for this source when one is
@@ -524,6 +529,7 @@ impl SstspNode {
                         // event as joining a network.
                         self.adjusted.step_to(rx.local_rx_us, ts_ref);
                         self.stats.clock_steps += 1;
+                        telemetry::counter_add("sstsp.clock_step", 1);
                         self.guard_locked = false;
                     }
                     released
@@ -534,6 +540,7 @@ impl SstspNode {
                     // still gets the cheap validation path.
                     self.cache_verifier(src, candidate);
                     self.stats.mutesla_rejections += 1;
+                    telemetry::counter_add("sstsp.reject.mutesla", 1);
                     self.rejections_this_bp += 1;
                     return;
                 }
@@ -543,6 +550,7 @@ impl SstspNode {
         // The beacon passed every check: it is evidence of a live
         // reference.
         self.stats.accepted += 1;
+        telemetry::counter_add("sstsp.accept", 1);
         self.saw_beacon = true;
         self.missed_bps = 0;
         self.upstream_rejects = 0;
@@ -591,6 +599,7 @@ impl SstspNode {
                 .is_ok()
             {
                 self.stats.retargets += 1;
+                telemetry::counter_add("sstsp.retarget", 1);
             }
         }
     }
@@ -611,9 +620,11 @@ impl SstspNode {
         let total: u32 = self.rejection_window.iter().sum();
         if total >= policy.rejection_threshold {
             self.stats.alerts += 1;
+            telemetry::counter_add("sstsp.alert", 1);
             self.rejection_window.clear();
             if policy.restart {
                 self.stats.recovery_restarts += 1;
+                telemetry::counter_add("sstsp.recovery_restart", 1);
                 self.step_down();
                 self.synchronized = false;
                 self.guard_locked = false;
@@ -632,11 +643,13 @@ impl SstspNode {
                 let now = self.adjusted.value(ctx.local_us);
                 self.adjusted.step_to(ctx.local_us, now + mean);
                 self.stats.clock_steps += 1;
+                telemetry::counter_add("sstsp.clock_step", 1);
                 self.synchronized = true;
                 self.phase = Phase::Fine;
                 self.missed_bps = 0;
                 self.eligible_bps = 0;
                 self.stats.coarse_syncs += 1;
+                telemetry::counter_add("sstsp.coarse_sync", 1);
                 true
             }
             None => false,
@@ -810,6 +823,7 @@ impl SyncProtocol for SstspNode {
                         if self.desync_bps > 30 {
                             self.desync_bps = 0;
                             self.stats.recovery_restarts += 1;
+                            telemetry::counter_add("sstsp.recovery_restart", 1);
                             self.step_down();
                             self.synchronized = false;
                             self.guard_locked = false;

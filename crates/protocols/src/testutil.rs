@@ -23,6 +23,8 @@ impl TestHarness {
         }
     }
 
+    /// Kept as fixture API even while no current test overrides the config.
+    #[allow(dead_code)]
     pub fn with_config(id: NodeId, config: ProtocolConfig) -> Self {
         TestHarness {
             id,

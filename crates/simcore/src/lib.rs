@@ -41,8 +41,8 @@ pub mod stats;
 pub mod time;
 
 pub use event::{EventQueue, ScheduledEvent};
-pub use rng::RngStreams;
+pub use rng::{CountingRng, RngStreams};
 pub use series::TimeSeries;
 pub use sim::{SimControl, Simulator};
-pub use stats::{Histogram, OnlineStats};
+pub use stats::{Histogram, OnlineStats, QuantileEstimate};
 pub use time::{SimDuration, SimTime};

@@ -9,7 +9,7 @@
 //! numbers: TSF and SSTSP runs with the same seed see the same oscillator
 //! drifts and the same channel error coins).
 
-use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::rand_core::{RngCore, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
 /// Domain separation labels for derived streams.
@@ -81,6 +81,57 @@ impl RngStreams {
     }
 }
 
+/// A transparent [`RngCore`] wrapper that counts draws.
+///
+/// The wrapper forwards every call to the inner generator unchanged, so the
+/// produced stream is bit-identical to the unwrapped one — wrapping an
+/// engine RNG in telemetry instrumentation cannot perturb a run. Each of
+/// `next_u32` / `next_u64` / `fill_bytes` counts as one draw; the count is
+/// a cheap proxy for "how much randomness this actor consumed", useful for
+/// spotting draw-pattern drift between runs that should be identical.
+#[derive(Debug, Clone)]
+pub struct CountingRng<R> {
+    inner: R,
+    draws: u64,
+}
+
+impl<R: RngCore> CountingRng<R> {
+    /// Wrap `inner`, starting the draw count at zero.
+    pub fn new(inner: R) -> Self {
+        CountingRng { inner, draws: 0 }
+    }
+
+    /// Number of RNG calls made through this wrapper so far.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Unwrap, returning the inner generator.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: RngCore> RngCore for CountingRng<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.draws += 1;
+        self.inner.next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.draws += 1;
+        self.inner.fill_bytes(dest);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +180,27 @@ mod tests {
         // (Vigna), seed 0 advanced once, and seed 1 advanced once.
         assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
         assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+    }
+
+    #[test]
+    fn counting_rng_is_transparent_and_counts() {
+        let f = RngStreams::new(7);
+        let mut plain = f.stream(StreamDomain::ChannelError, 0);
+        let mut counted = CountingRng::new(f.stream(StreamDomain::ChannelError, 0));
+        assert_eq!(counted.draws(), 0);
+        let a: Vec<u64> = (0..16).map(|_| plain.random()).collect();
+        let b: Vec<u64> = (0..16).map(|_| counted.random()).collect();
+        assert_eq!(a, b, "wrapping must not change the stream");
+        assert_eq!(counted.draws(), 16);
+        let mut buf = [0u8; 24];
+        counted.fill_bytes(&mut buf);
+        let _ = counted.next_u32();
+        assert_eq!(counted.draws(), 18);
+        // The unwrapped inner generator continues the same stream.
+        let mut inner = counted.into_inner();
+        plain.fill_bytes(&mut [0u8; 24]);
+        let _ = plain.next_u32();
+        assert_eq!(inner.next_u64(), plain.next_u64());
     }
 
     #[test]

@@ -230,7 +230,7 @@ mod tests {
         let d = s.downsample_peaks(20);
         assert!(d.len() <= 21);
         assert!(
-            d.values().iter().any(|&v| v == 1000.0),
+            d.values().contains(&1000.0),
             "peak must survive downsampling"
         );
     }

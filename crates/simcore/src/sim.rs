@@ -38,6 +38,7 @@ pub struct Simulator<E> {
     horizon: SimTime,
     events_processed: u64,
     event_budget: u64,
+    peak_pending: usize,
     probe: Option<Box<dyn FnMut(SimTime, u64)>>,
 }
 
@@ -51,6 +52,7 @@ impl<E> Simulator<E> {
             horizon,
             events_processed: 0,
             event_budget: u64::MAX,
+            peak_pending: 0,
             probe: None,
         }
     }
@@ -104,12 +106,16 @@ impl<E> Simulator<E> {
             "attempted to schedule an event in the past: {time} < now {}",
             self.now
         );
-        self.queue.schedule(time, payload)
+        let key = self.queue.schedule(time, payload);
+        self.peak_pending = self.peak_pending.max(self.queue.len());
+        key
     }
 
     /// Schedule an event `delay` after the current time.
     pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventKey {
-        self.queue.schedule(self.now + delay, payload)
+        let key = self.queue.schedule(self.now + delay, payload);
+        self.peak_pending = self.peak_pending.max(self.queue.len());
+        key
     }
 
     /// Cancel a pending event.
@@ -120,6 +126,13 @@ impl<E> Simulator<E> {
     /// Number of live pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// High-water mark of the pending-event count over the whole run — the
+    /// queue-depth figure surfaced by run-level telemetry. Cancellations
+    /// never lower it.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
     }
 
     /// Run the loop, delivering each event to `handler`, until the queue
@@ -309,6 +322,21 @@ mod tests {
         });
         assert_eq!(handler_count, 2);
         assert_eq!(probe_count.get(), 1, "removed probe stops firing");
+    }
+
+    #[test]
+    fn peak_pending_tracks_high_water_mark() {
+        let mut sim = Simulator::new(SimTime::from_secs(1));
+        assert_eq!(sim.peak_pending(), 0);
+        let k1 = sim.schedule_at(SimTime::from_ms(10), Ev::Tick(1));
+        sim.schedule_at(SimTime::from_ms(20), Ev::Tick(2));
+        sim.schedule_after(SimDuration::from_ms(30), Ev::Tick(3));
+        assert_eq!(sim.peak_pending(), 3);
+        // Draining and cancelling never lower the high-water mark.
+        sim.cancel(k1);
+        sim.run(|_, _| SimControl::Continue);
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.peak_pending(), 3);
     }
 
     #[test]

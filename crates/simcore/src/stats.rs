@@ -100,6 +100,32 @@ impl OnlineStats {
     }
 }
 
+/// Where a [`Histogram::quantile`] estimate landed relative to the binned
+/// range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QuantileEstimate {
+    /// The estimate, interpolated inside `[lo, hi)`.
+    Value(f64),
+    /// The target rank lies in the underflow bucket: the true quantile is
+    /// below `lo` and unrepresentable at this binning.
+    BelowRange,
+    /// The target rank lies in the overflow bucket: the true quantile is at
+    /// or above `hi` and unrepresentable at this binning.
+    AboveRange,
+}
+
+impl QuantileEstimate {
+    /// The in-range estimate, `None` for out-of-range signals. Callers that
+    /// previously relied on the clamped value must decide explicitly what
+    /// an out-of-range tail means for them.
+    pub fn value(self) -> Option<f64> {
+        match self {
+            QuantileEstimate::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
 /// Fixed-width linear-bin histogram over `[lo, hi)` with underflow and
 /// overflow buckets.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -166,7 +192,15 @@ impl Histogram {
 
     /// Approximate quantile `q` in `[0, 1]` by linear interpolation within
     /// the owning bin. Returns `None` when empty.
-    pub fn quantile(&self, q: f64) -> Option<f64> {
+    ///
+    /// When the target rank lands in the underflow or overflow bucket the
+    /// true quantile is outside `[lo, hi)` and *cannot be estimated* at
+    /// this binning; that is reported as a distinct
+    /// [`QuantileEstimate::BelowRange`] / [`QuantileEstimate::AboveRange`]
+    /// rather than silently clamping to the range edge (clamping
+    /// under-reported tail quantiles — e.g. the p99 of a half-overflowed
+    /// distribution came back as `hi` as if it had been observed).
+    pub fn quantile(&self, q: f64) -> Option<QuantileEstimate> {
         if self.count == 0 {
             return None;
         }
@@ -174,17 +208,17 @@ impl Histogram {
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut cum = self.underflow;
         if cum >= target {
-            return Some(self.lo);
+            return Some(QuantileEstimate::BelowRange);
         }
         let width = (self.hi - self.lo) / self.bins.len() as f64;
         for (i, &c) in self.bins.iter().enumerate() {
             if cum + c >= target {
                 let into = (target - cum) as f64 / c.max(1) as f64;
-                return Some(self.lo + (i as f64 + into) * width);
+                return Some(QuantileEstimate::Value(self.lo + (i as f64 + into) * width));
             }
             cum += c;
         }
-        Some(self.hi)
+        Some(QuantileEstimate::AboveRange)
     }
 
     /// Merge another histogram with identical binning.
@@ -289,10 +323,40 @@ mod tests {
         for i in 0..100 {
             h.record(i as f64 + 0.5);
         }
-        let median = h.quantile(0.5).unwrap();
+        let median = h.quantile(0.5).unwrap().value().unwrap();
         assert!((median - 50.0).abs() <= 1.0, "median ~50, got {median}");
-        let p99 = h.quantile(0.99).unwrap();
+        let p99 = h.quantile(0.99).unwrap().value().unwrap();
         assert!((p99 - 99.0).abs() <= 1.0, "p99 ~99, got {p99}");
+    }
+
+    #[test]
+    fn tail_quantile_in_overflow_is_flagged_not_clamped() {
+        // Regression: half the mass beyond the range. p99 (and even p60)
+        // lies in the overflow bucket; the old implementation returned
+        // `Some(hi)` as if 10.0 had been observed.
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..50 {
+            h.record(i as f64 / 10.0); // 50 in-range samples in [0, 5)
+        }
+        for _ in 0..50 {
+            h.record(1e6); // 50 overflow samples
+        }
+        assert_eq!(h.quantile(0.99), Some(QuantileEstimate::AboveRange));
+        assert_eq!(h.quantile(0.60), Some(QuantileEstimate::AboveRange));
+        // In-range quantiles still interpolate.
+        let q25 = h.quantile(0.25).unwrap().value().unwrap();
+        assert!((0.0..5.0).contains(&q25), "q25 in range, got {q25}");
+        // Fully-underflowed rank reports BelowRange, not `lo`.
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..10 {
+            h.record(-1.0);
+        }
+        h.record(5.0);
+        assert_eq!(h.quantile(0.5), Some(QuantileEstimate::BelowRange));
+        // q=1.0 lands at the top of the sample's bin [5, 6).
+        assert_eq!(h.quantile(1.0), Some(QuantileEstimate::Value(6.0)));
+        // Empty histogram is still `None`.
+        assert_eq!(Histogram::new(0.0, 1.0, 2).quantile(0.5), None);
     }
 
     #[test]

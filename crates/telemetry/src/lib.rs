@@ -1,0 +1,39 @@
+//! # sstsp-telemetry — deterministic observability for the SSTSP stack
+//!
+//! Three facilities, all **zero-overhead when disabled** (a single relaxed
+//! atomic load on every instrumented site) and **deterministic when
+//! enabled** (no wall clocks, no RNG, order-independent aggregation):
+//!
+//! * [`registry`] — a static-key metrics registry (counters, gauges,
+//!   [`simcore::Histogram`]-backed distributions) sharded per thread and
+//!   merged deterministically: counters and histogram bins are summed,
+//!   gauges merged by maximum, and the merged snapshot is keyed through
+//!   `BTreeMap`s — the same totals fall out whatever the thread count or
+//!   interleaving of a rayon sweep;
+//! * [`log`] — structured library logging that is silent by default
+//!   (`cargo test` output stays clean), writes to stderr when `SSTSP_LOG`
+//!   selects a level, and can be captured programmatically for tests;
+//! * [`trace`] — typed per-BP trace events (beacon tx/rx, µTESLA
+//!   accept/reject, reference elections, invariant violations) with a
+//!   hand-rolled JSONL encoding (the workspace has no serde_json).
+//!
+//! ## Determinism contract
+//!
+//! Telemetry never draws randomness, never reads wall-clock time, and
+//! never feeds back into simulation state: a run executed with telemetry
+//! enabled is bit-identical to the same run with telemetry disabled (the
+//! `golden_determinism` suite pins this). Aggregation is commutative, so
+//! snapshots are independent of thread scheduling.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod log;
+pub mod registry;
+pub mod trace;
+
+pub use registry::{
+    counter_add, dist_record, enabled, gauge_max, recording, reset, set_enabled, snapshot,
+    DistSpec, RecordingGuard, Snapshot,
+};
+pub use trace::{RxOutcome, TraceEvent};

@@ -1,0 +1,144 @@
+//! Structured library logging: silent by default, env-selected stderr
+//! output, and a programmatic capture sink for tests.
+//!
+//! Library crates must never print directly (scripts/check.sh enforces a
+//! no-`println!`/`eprintln!` gate on library sources); they emit events
+//! here instead. An event costs one relaxed atomic load when nothing is
+//! listening — the message closure is only invoked for a live sink.
+//!
+//! * `SSTSP_LOG=debug|info|warn` routes events at or above that level to
+//!   stderr (read once per process);
+//! * [`capture_start`] / [`capture_take`] buffer events in memory so tests
+//!   can assert on them without touching any stream.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Event severity, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Verbose diagnostics (per-node dumps, hot-path detail).
+    Debug = 1,
+    /// Notable but expected events.
+    Info = 2,
+    /// Unexpected-but-handled conditions.
+    Warn = 3,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+        }
+    }
+}
+
+/// Stderr threshold from `SSTSP_LOG`; `u8::MAX` = silent (the default).
+fn stderr_threshold() -> u8 {
+    static T: OnceLock<u8> = OnceLock::new();
+    *T.get_or_init(
+        || match std::env::var("SSTSP_LOG").as_deref().map(str::trim) {
+            Ok("debug") => Level::Debug as u8,
+            Ok("info") => Level::Info as u8,
+            Ok("warn") => Level::Warn as u8,
+            _ => u8::MAX,
+        },
+    )
+}
+
+/// A captured event: `(level, target, message)`.
+pub type CapturedEvent = (Level, &'static str, String);
+
+static CAPTURING: AtomicBool = AtomicBool::new(false);
+static CAPTURED: Mutex<Vec<CapturedEvent>> = Mutex::new(Vec::new());
+
+/// Start buffering events in memory (all levels), clearing any previous
+/// buffer. Tests use this to assert library crates log instead of printing.
+pub fn capture_start() {
+    let mut buf = CAPTURED.lock().unwrap_or_else(|e| e.into_inner());
+    buf.clear();
+    CAPTURING.store(true, Ordering::SeqCst);
+}
+
+/// Stop capturing and return the buffered events.
+pub fn capture_take() -> Vec<CapturedEvent> {
+    CAPTURING.store(false, Ordering::SeqCst);
+    let mut buf = CAPTURED.lock().unwrap_or_else(|e| e.into_inner());
+    std::mem::take(&mut *buf)
+}
+
+/// Emit an event. `message` is lazy: it only runs when a sink is live.
+#[inline]
+pub fn event(level: Level, target: &'static str, message: impl FnOnce() -> String) {
+    let capturing = CAPTURING.load(Ordering::Relaxed);
+    let to_stderr = (level as u8) >= stderr_threshold();
+    if !capturing && !to_stderr {
+        return;
+    }
+    let msg = message();
+    if to_stderr {
+        // The one sanctioned stderr write in the library stack.
+        let _ = writeln!(std::io::stderr(), "[{} {}] {}", level.name(), target, msg);
+    }
+    if capturing {
+        CAPTURED
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((level, target, msg));
+    }
+}
+
+/// [`event`] at [`Level::Debug`].
+#[inline]
+pub fn debug(target: &'static str, message: impl FnOnce() -> String) {
+    event(Level::Debug, target, message);
+}
+
+/// [`event`] at [`Level::Info`].
+#[inline]
+pub fn info(target: &'static str, message: impl FnOnce() -> String) {
+    event(Level::Info, target, message);
+}
+
+/// [`event`] at [`Level::Warn`].
+#[inline]
+pub fn warn(target: &'static str, message: impl FnOnce() -> String) {
+    event(Level::Warn, target, message);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test function: the capture sink is process-global, so the two
+    // phases must not run on parallel test threads.
+    #[test]
+    fn silent_by_default_then_capture_buffers_in_order() {
+        // No capture, no SSTSP_LOG in the test env: the closure must not run.
+        let mut ran = false;
+        event(Level::Warn, "test", || {
+            ran = true;
+            String::new()
+        });
+        assert!(!ran, "message closure ran with no live sink");
+
+        capture_start();
+        debug("test.cap", || "first".to_string());
+        warn("test.cap", || "second".to_string());
+        let events = capture_take();
+        assert_eq!(
+            events,
+            vec![
+                (Level::Debug, "test.cap", "first".to_string()),
+                (Level::Warn, "test.cap", "second".to_string()),
+            ]
+        );
+        // Capture is off again; nothing accumulates.
+        info("test.cap", || "third".to_string());
+        capture_start();
+        assert!(capture_take().is_empty());
+    }
+}

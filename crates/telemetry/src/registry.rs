@@ -1,0 +1,334 @@
+//! The static-key metrics registry.
+//!
+//! Writers record into a per-thread shard (one uncontended mutex lock per
+//! record); [`snapshot`] merges every shard that ever existed into
+//! `BTreeMap`s. Merging is commutative — counters and histogram bins sum,
+//! gauges take the maximum — so the merged totals are independent of thread
+//! count and scheduling, which is what makes sweep-level metrics
+//! reproducible. Shards of finished threads stay registered (the global
+//! list holds an `Arc` clone), so nothing recorded is ever lost to thread
+//! teardown.
+//!
+//! Keys are `&'static str` by design: the set of metrics is part of the
+//! program, not of the data, and static keys keep the disabled path free of
+//! any formatting or allocation.
+
+use simcore::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether the registry is currently recording. Instrumented sites check
+/// this first; when `false` they cost one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn recording on or off. Prefer [`recording`] (RAII + reset +
+/// exclusivity) unless managing the flag manually.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Binning of a distribution metric: `bins` equal-width bins over
+/// `[lo, hi)` plus under/overflow buckets. Every record site for a given
+/// key must pass the same spec (the merge asserts identical binning).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistSpec {
+    /// Inclusive lower bound of the binned range.
+    pub lo: f64,
+    /// Exclusive upper bound of the binned range.
+    pub hi: f64,
+    /// Number of equal-width bins.
+    pub bins: usize,
+}
+
+#[derive(Default)]
+struct Shard {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    dists: BTreeMap<&'static str, Histogram>,
+}
+
+/// Every shard ever created, including those of finished threads.
+static SHARDS: Mutex<Vec<Arc<Mutex<Shard>>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static LOCAL: Arc<Mutex<Shard>> = {
+        let shard = Arc::new(Mutex::new(Shard::default()));
+        shards_lock().push(Arc::clone(&shard));
+        shard
+    };
+}
+
+/// Lock a registry mutex, surviving poisoning: a panicking test thread must
+/// not wedge every later telemetry user in the process.
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn shards_lock() -> MutexGuard<'static, Vec<Arc<Mutex<Shard>>>> {
+    lock_or_recover(&SHARDS)
+}
+
+/// Add `delta` to the counter `key` (no-op when disabled).
+#[inline]
+pub fn counter_add(key: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|s| *lock_or_recover(s).counters.entry(key).or_insert(0) += delta);
+}
+
+/// Raise the gauge `key` to at least `value` (no-op when disabled). Gauges
+/// merge by maximum — the only order-independent choice for a
+/// "high-water mark" observable like peak queue depth.
+#[inline]
+pub fn gauge_max(key: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|s| {
+        let mut shard = lock_or_recover(s);
+        let g = shard.gauges.entry(key).or_insert(0);
+        *g = (*g).max(value);
+    });
+}
+
+/// Record `value` into the distribution `key` binned by `spec` (no-op when
+/// disabled).
+#[inline]
+pub fn dist_record(key: &'static str, spec: DistSpec, value: f64) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|s| {
+        lock_or_recover(s)
+            .dists
+            .entry(key)
+            .or_insert_with(|| Histogram::new(spec.lo, spec.hi, spec.bins))
+            .record(value);
+    });
+}
+
+/// A deterministic merged view of every shard.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals (summed across shards), sorted by key.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge high-water marks (max across shards), sorted by key.
+    pub gauges: BTreeMap<&'static str, u64>,
+    /// Merged distributions, sorted by key.
+    pub dists: BTreeMap<&'static str, Histogram>,
+}
+
+impl Snapshot {
+    /// Counter total for `key` (0 when never recorded).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Gauge value for `key` (`None` when never recorded).
+    pub fn gauge(&self, key: &str) -> Option<u64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Plain-text rendering, one metric per line, keys sorted. Distribution
+    /// lines report count, p50/p99 (flagging out-of-range tail estimates
+    /// rather than clamping them — see `Histogram::quantile`), and
+    /// under/overflow counts.
+    pub fn render_text(&self) -> String {
+        use simcore::stats::QuantileEstimate;
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter {k} = {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge   {k} = {v}\n"));
+        }
+        let render_q = |q: Option<QuantileEstimate>| match q {
+            Some(QuantileEstimate::Value(v)) => format!("{v:.3}"),
+            Some(QuantileEstimate::BelowRange) => "<lo".to_string(),
+            Some(QuantileEstimate::AboveRange) => ">=hi".to_string(),
+            None => "-".to_string(),
+        };
+        for (k, h) in &self.dists {
+            out.push_str(&format!(
+                "dist    {k}: n={} p50={} p99={} underflow={} overflow={}\n",
+                h.count(),
+                render_q(h.quantile(0.5)),
+                render_q(h.quantile(0.99)),
+                h.underflow(),
+                h.overflow(),
+            ));
+        }
+        out
+    }
+}
+
+/// Merge every shard into a [`Snapshot`]. Deterministic: commutative
+/// per-key merges plus sorted maps make the result independent of shard
+/// order and thread interleaving.
+pub fn snapshot() -> Snapshot {
+    let shards = shards_lock();
+    let mut snap = Snapshot::default();
+    for shard in shards.iter() {
+        let shard = lock_or_recover(shard);
+        for (&k, &v) in &shard.counters {
+            *snap.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &shard.gauges {
+            let g = snap.gauges.entry(k).or_insert(0);
+            *g = (*g).max(v);
+        }
+        for (&k, h) in &shard.dists {
+            match snap.dists.get_mut(k) {
+                Some(acc) => acc.merge(h),
+                None => {
+                    snap.dists.insert(k, h.clone());
+                }
+            }
+        }
+    }
+    snap
+}
+
+/// Clear every shard's data (registrations survive; threads keep writing
+/// into their existing shards).
+pub fn reset() {
+    let shards = shards_lock();
+    for shard in shards.iter() {
+        let mut shard = lock_or_recover(shard);
+        shard.counters.clear();
+        shard.gauges.clear();
+        shard.dists.clear();
+    }
+}
+
+/// Serializes recording sessions: one consumer (a CLI invocation, a test)
+/// owns the registry at a time. Threads *within* a session record freely.
+static SESSION: Mutex<()> = Mutex::new(());
+
+/// RAII handle for an exclusive recording session (see [`recording`]).
+pub struct RecordingGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for RecordingGuard {
+    fn drop(&mut self) {
+        set_enabled(false);
+    }
+}
+
+/// Start an exclusive recording session: takes the session lock (blocking
+/// out concurrent sessions, e.g. parallel tests in one binary), resets the
+/// registry, and enables recording until the guard drops.
+pub fn recording() -> RecordingGuard {
+    let lock = lock_or_recover(&SESSION);
+    reset();
+    set_enabled(true);
+    RecordingGuard { _lock: lock }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let _g = recording();
+        set_enabled(false);
+        counter_add("test.nothing", 5);
+        gauge_max("test.nothing.g", 5);
+        dist_record(
+            "test.nothing.d",
+            DistSpec {
+                lo: 0.0,
+                hi: 1.0,
+                bins: 4,
+            },
+            0.5,
+        );
+        set_enabled(true);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.nothing"), 0);
+        assert_eq!(snap.gauge("test.nothing.g"), None);
+        assert!(!snap.dists.contains_key("test.nothing.d"));
+    }
+
+    #[test]
+    fn counters_gauges_dists_round_trip() {
+        let _g = recording();
+        counter_add("test.rt.c", 2);
+        counter_add("test.rt.c", 3);
+        gauge_max("test.rt.g", 7);
+        gauge_max("test.rt.g", 4);
+        let spec = DistSpec {
+            lo: 0.0,
+            hi: 10.0,
+            bins: 10,
+        };
+        for x in [1.0, 2.0, 3.0, 42.0] {
+            dist_record("test.rt.d", spec, x);
+        }
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.rt.c"), 5);
+        assert_eq!(snap.gauge("test.rt.g"), Some(7));
+        let d = &snap.dists["test.rt.d"];
+        assert_eq!(d.count(), 4);
+        assert_eq!(d.overflow(), 1);
+        let text = snap.render_text();
+        assert!(text.contains("counter test.rt.c = 5"));
+        assert!(text.contains("gauge   test.rt.g = 7"));
+        assert!(text.contains("dist    test.rt.d: n=4"));
+    }
+
+    #[test]
+    fn shards_from_many_threads_merge_to_the_same_totals() {
+        let _g = recording();
+        let spec = DistSpec {
+            lo: 0.0,
+            hi: 100.0,
+            bins: 20,
+        };
+        // The same 120 operations, partitioned over 1, 3 and 8 threads,
+        // must merge to identical snapshots.
+        let run_partitioned = |threads: usize| {
+            reset();
+            let chunk = 120 / threads;
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    s.spawn(move || {
+                        for i in (t * chunk)..((t + 1) * chunk) {
+                            counter_add("test.merge.c", (i % 7) as u64);
+                            gauge_max("test.merge.g", i as u64);
+                            dist_record("test.merge.d", spec, i as f64);
+                        }
+                    });
+                }
+            });
+            let snap = snapshot();
+            (
+                snap.counter("test.merge.c"),
+                snap.gauge("test.merge.g"),
+                snap.dists["test.merge.d"].bins().to_vec(),
+                snap.dists["test.merge.d"].count(),
+            )
+        };
+        let single = run_partitioned(1);
+        for threads in [3, 8] {
+            assert_eq!(run_partitioned(threads), single, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_all_shards() {
+        let _g = recording();
+        counter_add("test.reset.c", 9);
+        reset();
+        assert_eq!(snapshot().counter("test.reset.c"), 0);
+    }
+}

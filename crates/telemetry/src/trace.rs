@@ -1,0 +1,331 @@
+//! Typed trace events and their JSONL encoding.
+//!
+//! A trace is an ordered sequence of [`TraceEvent`]s describing one run at
+//! beacon-delivery granularity: what was transmitted, what each receiver
+//! did with it (accepted, guard-rejected, µTESLA-rejected, ...), reference
+//! elections, per-BP spread summaries, and invariant violations. The
+//! engine-side recorder lives in the `sstsp` crate (it needs the
+//! `EngineHook` seam); this module owns the event model and the encoding so
+//! every consumer agrees on the schema.
+//!
+//! Encoding is one JSON object per line (JSONL), hand-rolled since the
+//! workspace deliberately carries no serde_json. All numbers are plain
+//! decimals; floats use Rust's shortest-round-trip `Display`, so a dumped
+//! trace is itself deterministic.
+
+use std::fmt::Write;
+
+/// What a receiver did with one delivered beacon, classified from the
+/// receiver's diagnostic-counter deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxOutcome {
+    /// Passed every check and was admitted; `retarget` marks whether it
+    /// (re-)aimed the receiver's clock discipline.
+    Accept {
+        /// Whether the acceptance retargeted the receiver's clock.
+        retarget: bool,
+    },
+    /// Rejected by the guard-time check.
+    GuardReject,
+    /// Rejected by µTESLA verification.
+    MuteslaReject,
+    /// Dropped: the sender's µTESLA anchor is unknown to the receiver.
+    UnknownAnchor,
+    /// Consumed for coarse synchronization only.
+    CoarseSync,
+    /// Processed without any counted state change (e.g. a plain beacon at
+    /// an already-synchronized SSTSP station, or a non-SSTSP protocol).
+    Ignored,
+}
+
+impl RxOutcome {
+    /// Stable token used in the JSONL encoding.
+    pub fn token(&self) -> &'static str {
+        match self {
+            RxOutcome::Accept { .. } => "accept",
+            RxOutcome::GuardReject => "guard_reject",
+            RxOutcome::MuteslaReject => "mutesla_reject",
+            RxOutcome::UnknownAnchor => "unknown_anchor",
+            RxOutcome::CoarseSync => "coarse_sync",
+            RxOutcome::Ignored => "ignored",
+        }
+    }
+}
+
+/// One structured trace event. Node ids are station indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Run header: scenario identity.
+    RunStart {
+        /// Protocol name.
+        protocol: String,
+        /// Station count.
+        n_nodes: u32,
+        /// Master seed.
+        seed: u64,
+    },
+    /// A station transmitted a beacon this BP.
+    BeaconTx {
+        /// Beacon period index (1-based).
+        bp: u64,
+        /// Transmitting station.
+        src: u32,
+    },
+    /// A beacon reached a receiver and was processed.
+    BeaconRx {
+        /// Beacon period index.
+        bp: u64,
+        /// Transmitting station.
+        src: u32,
+        /// Receiving station.
+        dst: u32,
+        /// Simulated reception instant, µs.
+        t_rx_us: f64,
+        /// Receiver's adjusted clock immediately before processing, µs.
+        clock_before_us: f64,
+        /// What the receiver did with it.
+        outcome: RxOutcome,
+    },
+    /// A hook (fault layer) dropped a beacon before the receiver saw it.
+    HookDrop {
+        /// Beacon period index.
+        bp: u64,
+        /// Transmitting station.
+        src: u32,
+        /// Receiver that never saw the beacon.
+        dst: u32,
+    },
+    /// The station holding the reference role changed.
+    RefChange {
+        /// Beacon period index.
+        bp: u64,
+        /// Previous holder (`None` = role vacant).
+        from: Option<u32>,
+        /// New holder (`None` = role vacant).
+        to: Option<u32>,
+    },
+    /// Per-BP summary after metrics sampling.
+    BpEnd {
+        /// Beacon period index.
+        bp: u64,
+        /// Max pairwise spread of honest synchronized clocks, µs (`None`
+        /// when fewer than two stations qualify — distinct from 0.0, which
+        /// means perfect agreement).
+        spread_us: Option<f64>,
+        /// Reference holder at BP end.
+        reference: Option<u32>,
+        /// Whether the engine disturbed the network this BP.
+        disturbed: bool,
+    },
+    /// An invariant violation detected this BP.
+    Violation {
+        /// Beacon period index.
+        bp: u64,
+        /// Invariant kind label.
+        kind: String,
+        /// Offending station, when attributable.
+        node: Option<u32>,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Run footer: aggregate counters for reconciliation.
+    RunEnd {
+        /// Successful beacon windows.
+        tx_successes: u64,
+        /// Collided beacon windows.
+        tx_collisions: u64,
+        /// Guard-time rejections (honest stations).
+        guard_rejections: u64,
+        /// µTESLA rejections (honest stations).
+        mutesla_rejections: u64,
+        /// Successful clock retargets.
+        retargets: u64,
+        /// Largest spread observed, µs.
+        peak_spread_us: f64,
+    },
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt_u32(v: Option<u32>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// Render a float as JSON: finite values via shortest-round-trip display,
+/// non-finite ones (JSON has no NaN/Inf) as null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl TraceEvent {
+    /// Encode as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        match self {
+            TraceEvent::RunStart {
+                protocol,
+                n_nodes,
+                seed,
+            } => format!(
+                "{{\"ev\":\"run_start\",\"protocol\":\"{}\",\"n_nodes\":{n_nodes},\"seed\":{seed}}}",
+                json_escape(protocol)
+            ),
+            TraceEvent::BeaconTx { bp, src } => {
+                format!("{{\"ev\":\"beacon_tx\",\"bp\":{bp},\"src\":{src}}}")
+            }
+            TraceEvent::BeaconRx {
+                bp,
+                src,
+                dst,
+                t_rx_us,
+                clock_before_us,
+                outcome,
+            } => {
+                let retarget = match outcome {
+                    RxOutcome::Accept { retarget } => {
+                        format!(",\"retarget\":{retarget}")
+                    }
+                    _ => String::new(),
+                };
+                format!(
+                    "{{\"ev\":\"beacon_rx\",\"bp\":{bp},\"src\":{src},\"dst\":{dst},\"t_rx_us\":{},\"clock_before_us\":{},\"outcome\":\"{}\"{retarget}}}",
+                    json_f64(*t_rx_us),
+                    json_f64(*clock_before_us),
+                    outcome.token()
+                )
+            }
+            TraceEvent::HookDrop { bp, src, dst } => {
+                format!("{{\"ev\":\"hook_drop\",\"bp\":{bp},\"src\":{src},\"dst\":{dst}}}")
+            }
+            TraceEvent::RefChange { bp, from, to } => format!(
+                "{{\"ev\":\"ref_change\",\"bp\":{bp},\"from\":{},\"to\":{}}}",
+                opt_u32(*from),
+                opt_u32(*to)
+            ),
+            TraceEvent::BpEnd {
+                bp,
+                spread_us,
+                reference,
+                disturbed,
+            } => format!(
+                "{{\"ev\":\"bp_end\",\"bp\":{bp},\"spread_us\":{},\"reference\":{},\"disturbed\":{disturbed}}}",
+                spread_us.map_or("null".to_string(), json_f64),
+                opt_u32(*reference)
+            ),
+            TraceEvent::Violation {
+                bp,
+                kind,
+                node,
+                detail,
+            } => format!(
+                "{{\"ev\":\"violation\",\"bp\":{bp},\"kind\":\"{}\",\"node\":{},\"detail\":\"{}\"}}",
+                json_escape(kind),
+                opt_u32(*node),
+                json_escape(detail)
+            ),
+            TraceEvent::RunEnd {
+                tx_successes,
+                tx_collisions,
+                guard_rejections,
+                mutesla_rejections,
+                retargets,
+                peak_spread_us,
+            } => format!(
+                "{{\"ev\":\"run_end\",\"tx_successes\":{tx_successes},\"tx_collisions\":{tx_collisions},\"guard_rejections\":{guard_rejections},\"mutesla_rejections\":{mutesla_rejections},\"retargets\":{retargets},\"peak_spread_us\":{}}}",
+                json_f64(*peak_spread_us)
+            ),
+        }
+    }
+}
+
+/// Encode a whole trace as JSONL (one event per line, trailing newline).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn events_encode_to_stable_jsonl() {
+        let ev = TraceEvent::BeaconRx {
+            bp: 3,
+            src: 5,
+            dst: 1,
+            t_rx_us: 300128.5,
+            clock_before_us: 300100.25,
+            outcome: RxOutcome::Accept { retarget: true },
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            "{\"ev\":\"beacon_rx\",\"bp\":3,\"src\":5,\"dst\":1,\"t_rx_us\":300128.5,\"clock_before_us\":300100.25,\"outcome\":\"accept\",\"retarget\":true}"
+        );
+        let ev = TraceEvent::RefChange {
+            bp: 9,
+            from: None,
+            to: Some(4),
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            "{\"ev\":\"ref_change\",\"bp\":9,\"from\":null,\"to\":4}"
+        );
+        let ev = TraceEvent::BpEnd {
+            bp: 2,
+            spread_us: None,
+            reference: None,
+            disturbed: false,
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            "{\"ev\":\"bp_end\",\"bp\":2,\"spread_us\":null,\"reference\":null,\"disturbed\":false}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let ev = TraceEvent::RunEnd {
+            tx_successes: 1,
+            tx_collisions: 0,
+            guard_rejections: 0,
+            mutesla_rejections: 0,
+            retargets: 0,
+            peak_spread_us: f64::NAN,
+        };
+        assert!(ev.to_jsonl().ends_with("\"peak_spread_us\":null}"));
+    }
+}

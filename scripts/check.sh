@@ -37,8 +37,21 @@ cargo run --release -q -p sstsp-faults --bin scenario_fuzz -- matrix
 echo "==> scenario fuzz (fixed seed, bounded iterations)"
 cargo run --release -q -p sstsp-faults --bin scenario_fuzz -- fuzz --iters 10 --seed 2006
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> telemetry-overhead smoke (disabled-path throughput vs BENCH_engine.json)"
+cargo run --release -q -p sstsp-bench --bin perf_baseline -- --smoke
+
+echo "==> no raw println!/eprintln! in library crates (use sstsp-telemetry log/trace)"
+# Library sources must emit through the telemetry layer so output is
+# structured, capturable, and silent by default. Binaries (src/bin) and
+# tests are exempt; the telemetry sink itself writes via writeln!.
+if grep -rn --include='*.rs' -E '\b(println|eprintln)!' crates/*/src --exclude-dir=bin |
+    grep -vE ':[0-9]+:\s*//'; then
+    echo "ERROR: raw print in a library crate — route it through sstsp_telemetry::log" >&2
+    exit 1
+fi
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check

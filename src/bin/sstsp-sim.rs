@@ -4,6 +4,7 @@
 //! sstsp-sim --protocol sstsp --nodes 100 --duration 60 --seed 1 --chart
 //! sstsp-sim --protocol tsf --nodes 300 --duration 1000 --csv out.csv
 //! sstsp-sim --protocol sstsp --nodes 500 --m 4 --attack 400,600,30 --chart
+//! sstsp-sim trace "n=12 dur=30 seed=7 m=4 delta=300 plan=3 burst@40..90:p=0.85"
 //! ```
 //!
 //! Flags:
@@ -23,9 +24,18 @@
 //! | `--jam START,END` | jamming window (repeatable) | none |
 //! | `--chart` | print the ASCII spread chart | off |
 //! | `--csv PATH` | write the spread series as CSV | off |
+//!
+//! The `trace` subcommand replays a fault-plan case spec — the same one-line
+//! format the scenario fuzzer prints for failing cases — under trace
+//! recording, and emits the structured JSONL event stream (beacon tx/rx,
+//! receiver verdicts, hook drops, reference changes, per-BP spreads,
+//! invariant violations) to stdout or `--out PATH`. The merged telemetry
+//! metrics snapshot goes to stderr.
 
 use sstsp::scenario::{AttackerSpec, ChurnConfig, JamWindow};
 use sstsp::{Network, ProtocolKind, ScenarioConfig};
+use sstsp_faults::plan::FuzzCase;
+use sstsp_faults::run_case_traced;
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\nsee `sstsp-sim` source header for flags");
@@ -47,8 +57,72 @@ fn parse_list(s: &str, n: usize, flag: &str) -> Vec<f64> {
     parts
 }
 
+/// `sstsp-sim trace <SPEC>... [--out PATH]` — replay a fuzzer case spec with
+/// trace recording and dump the run as JSONL. Unquoted specs arrive as
+/// several argv words; all non-flag arguments are joined back with spaces.
+fn run_trace(args: &[String]) -> ! {
+    let mut spec_parts: Vec<&str> = Vec::new();
+    let mut out = None::<String>;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--out needs a value"))
+                        .clone(),
+                )
+            }
+            other if other.starts_with("--") => usage(&format!("unknown trace flag '{other}'")),
+            other => spec_parts.push(other),
+        }
+    }
+    if spec_parts.is_empty() {
+        usage("trace needs a case spec, e.g. `trace \"n=12 dur=30 seed=7 m=4 delta=300 plan=3 burst@40..90:p=0.85\"`");
+    }
+    let spec = spec_parts.join(" ");
+    let case: FuzzCase = spec
+        .parse()
+        .unwrap_or_else(|e| usage(&format!("bad case spec: {e}")));
+
+    let guard = sstsp_telemetry::recording();
+    let outcome = run_case_traced(&case);
+    let snap = sstsp_telemetry::snapshot();
+    drop(guard);
+
+    let jsonl = sstsp_telemetry::trace::to_jsonl(&outcome.events);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &jsonl).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {} events to {path}", outcome.events.len());
+        }
+        None => print!("{jsonl}"),
+    }
+
+    eprintln!("case:       {case}");
+    eprintln!(
+        "result:     peak spread {:.1} µs, {} tx ok, {} guard / {} µTESLA rejections",
+        outcome.result.peak_spread_us,
+        outcome.result.tx_successes,
+        outcome.result.guard_rejections,
+        outcome.result.mutesla_rejections,
+    );
+    eprintln!("violations: {}", outcome.violations.len());
+    for v in &outcome.violations {
+        eprintln!("  {v}");
+    }
+    eprintln!("--- telemetry ---\n{}", snap.render_text());
+    std::process::exit(if outcome.violations.is_empty() { 0 } else { 1 })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        run_trace(&args[1..]);
+    }
     let mut protocol = ProtocolKind::Sstsp;
     let mut nodes = 50u32;
     let mut duration = 60.0f64;

@@ -310,7 +310,7 @@ mod tests {
         let mut a = [0u8; 16];
         rng.fill(&mut a);
         assert_ne!(a, [0u8; 16]);
-        let mut v = vec![0u8; 33];
+        let mut v = [0u8; 33];
         rng.fill(&mut v[..]);
         assert!(v.iter().any(|&b| b != 0));
     }
