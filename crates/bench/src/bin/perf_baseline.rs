@@ -35,6 +35,7 @@
 //! `after.bps_per_sec`; nothing is written. This is the CI guard that the
 //! telemetry layer stays free when off.
 
+use rayon::ThreadPool;
 use sstsp::sweep::run_seeds;
 use sstsp::{Network, ProtocolKind, ScenarioConfig};
 use sstsp_crypto::chain::chain_step;
@@ -102,7 +103,10 @@ fn run_smoke(out: &str) -> ! {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.98);
-    let measured = measure_engine_for(1.0);
+    // Pin the smoke to a 1-thread pool: the guard compares single-run
+    // engine throughput, which must not drift with the host's core count
+    // or the pool's scheduling.
+    let measured = ThreadPool::new(1).install(|| measure_engine_for(1.0));
     let ratio = measured / baseline;
     eprintln!(
         "smoke: {measured:.1} BPs/sec vs baseline {baseline:.1} (ratio {ratio:.3}, tolerance {tol})"
@@ -115,16 +119,38 @@ fn run_smoke(out: &str) -> ! {
     std::process::exit(0)
 }
 
-fn measure_sweep() -> f64 {
+fn measure_sweep_for(min_s: f64) -> f64 {
     let base = ScenarioConfig::new(ProtocolKind::Sstsp, SWEEP_NODES, SWEEP_DURATION_S, 0);
     std::hint::black_box(run_seeds(&base, &SWEEP_SEEDS));
     let t0 = Instant::now();
     let mut runs = 0u64;
-    while t0.elapsed().as_secs_f64() < MIN_MEASURE_S {
+    while t0.elapsed().as_secs_f64() < min_s {
         std::hint::black_box(run_seeds(&base, &SWEEP_SEEDS));
         runs += SWEEP_SEEDS.len() as u64;
     }
     runs as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn measure_sweep() -> f64 {
+    measure_sweep_for(MIN_MEASURE_S)
+}
+
+/// Scaling points for the sweep workload, measured on scoped pools.
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The sweep workload at each pool size in [`SCALING_THREADS`]. Whether
+/// the extra threads buy anything depends on the host (the recorded
+/// `host_threads` field says how many hardware threads the measurement
+/// actually had available); the *results* are bit-identical either way.
+fn measure_sweep_scaling() -> Vec<(usize, f64)> {
+    SCALING_THREADS
+        .iter()
+        .map(|&t| {
+            let r = ThreadPool::new(t).install(|| measure_sweep_for(MIN_MEASURE_S / 2.0));
+            eprintln!("  {t} thread(s): {r:.2} runs/sec");
+            (t, r)
+        })
+        .collect()
 }
 
 fn measure_hashes() -> f64 {
@@ -241,6 +267,9 @@ fn main() {
     let bps_telemetry_on = measure_engine_telemetry_on();
     let overhead_pct = (1.0 - bps_telemetry_on / bps_per_sec) * 100.0;
     eprintln!("  {bps_telemetry_on:.1} BPs/sec ({overhead_pct:.1}% overhead)");
+    eprintln!("measuring sweep scaling across pool sizes ...");
+    let scaling = measure_sweep_scaling();
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let m = Measurement {
         bps_per_sec,
@@ -274,6 +303,14 @@ fn main() {
     body.push_str(&format!(
         "  \"telemetry\": {{\n    \"bps_per_sec_off\": {bps_per_sec:.1},\n    \"bps_per_sec_on\": {bps_telemetry_on:.1},\n    \"overhead_pct\": {overhead_pct:.2}\n  }},\n"
     ));
+    body.push_str(&format!(
+        "  \"sweep_scaling\": {{\n    \"host_threads\": {host_threads},\n"
+    ));
+    for (i, (t, r)) in scaling.iter().enumerate() {
+        let sep = if i + 1 == scaling.len() { "" } else { "," };
+        body.push_str(&format!("    \"runs_per_sec_threads_{t}\": {r:.2}{sep}\n"));
+    }
+    body.push_str("  },\n");
     if let (Some(b), Some(a)) = (&before_block, &after_block) {
         let speedup = |field: &str| -> Option<f64> {
             Some(extract_number(a, field)? / extract_number(b, field)?)

@@ -3,13 +3,18 @@
 //! `run_seeds` / `run_configs` parallelize over *runs*; each run is a pure
 //! function of its config and seed, and results are collected in input
 //! order. So the output must be bit-identical whether the pool has one
-//! thread or many. This test runs the sweeps on the default pool, then
-//! re-executes itself as a child process with `RAYON_NUM_THREADS=1` and
-//! compares bit-exact fingerprints of every run's spread series and
-//! counters.
+//! thread or many — and now that the vendored rayon actually steals work,
+//! "many" means real concurrent interleavings, not a renamed loop.
+//!
+//! Two pins: an in-process one comparing scoped pools of 1, 2 and 8
+//! threads (sweep fingerprints *and* merged telemetry snapshots), and a
+//! child-process one exercising the `RAYON_NUM_THREADS` env path against
+//! the default pool.
 
+use rayon::ThreadPool;
 use sstsp::sweep::{run_configs, run_seeds};
 use sstsp::{ProtocolKind, ScenarioConfig};
+use sstsp_telemetry as telemetry;
 
 /// Env marker distinguishing the single-threaded child invocation.
 const CHILD_VAR: &str = "SSTSP_THREAD_DETERMINISM_CHILD";
@@ -46,6 +51,30 @@ fn fingerprint() -> String {
         s.push('\n');
     }
     s
+}
+
+/// In-process pin: scoped pools of 1, 2 and 8 threads must produce the
+/// same sweep bytes and — because shard merging is commutative — the same
+/// merged telemetry snapshot, whatever the steal interleaving.
+#[test]
+fn sweeps_and_telemetry_identical_across_scoped_pools() {
+    let run_at = |threads: usize| {
+        ThreadPool::new(threads).install(|| {
+            let _session = telemetry::recording();
+            let fp = fingerprint();
+            (fp, telemetry::snapshot().render_text())
+        })
+    };
+    let (fp_seq, telem_seq) = run_at(1);
+    assert!(!telem_seq.is_empty(), "telemetry recorded something");
+    for threads in [2, 8] {
+        let (fp, telem) = run_at(threads);
+        assert_eq!(fp, fp_seq, "sweep bytes diverge at {threads} threads");
+        assert_eq!(
+            telem, telem_seq,
+            "merged telemetry snapshot diverges at {threads} threads"
+        );
+    }
 }
 
 #[test]

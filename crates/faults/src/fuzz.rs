@@ -9,6 +9,7 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
+use rayon::prelude::*;
 use sstsp::invariants::Violation;
 
 use crate::harness::run_case;
@@ -139,12 +140,26 @@ fn random_event(rng: &mut ChaCha12Rng, n: u32, total_bps: u64) -> FaultEvent {
 }
 
 /// Run a fuzz sweep. Stops at (and shrinks) the first failing case.
+///
+/// Case *generation* is sequential — each case consumes the master-seeded
+/// RNG stream, so the i-th case is the same bytes whatever the pool size.
+/// Case *execution* fans out over the current rayon pool (`run_case` is a
+/// pure function of its case), and the results are then replayed in case
+/// order: the log stream, the failure chosen for shrinking, and the
+/// reported `cases_run` are byte-identical to the sequential sweep. A
+/// sweep that fails early does some throwaway work past the failure; the
+/// common all-clean sweep is the one worth the speedup.
 pub fn fuzz<L: FnMut(&str)>(cfg: &FuzzConfig, mut log: L) -> FuzzReport {
     let mut rng = ChaCha12Rng::seed_from_u64(cfg.master_seed);
-    for i in 0..cfg.iterations {
-        let case = random_case(&mut rng, cfg.max_events);
-        let outcome = run_case(&case);
-        if outcome.violations.is_empty() {
+    let cases: Vec<FuzzCase> = (0..cfg.iterations)
+        .map(|_| random_case(&mut rng, cfg.max_events))
+        .collect();
+    let violation_counts: Vec<usize> = cases
+        .par_iter()
+        .map(|case| run_case(case).violations.len())
+        .collect();
+    for (i, case) in cases.iter().enumerate() {
+        if violation_counts[i] == 0 {
             log(&format!(
                 "case {}/{}: ok ({} events, N={}, {} s)",
                 i + 1,
@@ -159,14 +174,15 @@ pub fn fuzz<L: FnMut(&str)>(cfg: &FuzzConfig, mut log: L) -> FuzzReport {
             "case {}/{}: {} violation(s) — shrinking",
             i + 1,
             cfg.iterations,
-            outcome.violations.len()
+            violation_counts[i]
         ));
+        // Shrinking stays sequential: each probe depends on the last.
         let shrunk = shrink(case.clone(), |c| !run_case(c).violations.is_empty());
         let violations = run_case(&shrunk).violations;
         return FuzzReport {
-            cases_run: i + 1,
+            cases_run: i as u32 + 1,
             failure: Some(FuzzFailure {
-                original: case,
+                original: case.clone(),
                 shrunk,
                 violations,
             }),

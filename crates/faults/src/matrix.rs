@@ -6,6 +6,8 @@
 //! all four invariants intact (a correct implementation rejects or absorbs
 //! the fault; it never accepts what it must not).
 
+use rayon::prelude::*;
+
 use crate::harness::run_case;
 use crate::plan::{CorruptField, FaultEvent, FaultKind, FaultPlan, FuzzCase};
 
@@ -167,17 +169,22 @@ pub fn matrix_cases() -> Vec<(&'static str, FuzzCase)> {
 }
 
 /// Run the full matrix, returning one row per fault class.
+///
+/// Rows are computed in parallel on the current rayon pool — each case is
+/// a pure function of its plan, and `collect` preserves input order — so
+/// the table is byte-identical to a sequential run at any pool size.
 pub fn run_matrix() -> Vec<MatrixRow> {
-    matrix_cases()
-        .into_iter()
-        .map(|(label, case)| {
-            let outcome = run_case(&case);
+    let cases = matrix_cases();
+    cases
+        .par_iter()
+        .map(|&(label, ref case)| {
+            let outcome = run_case(case);
             MatrixRow {
                 label,
                 violations: outcome.violations.len(),
                 synced: outcome.result.sync_latency_s.is_some(),
                 peak_spread_us: outcome.result.peak_spread_us,
-                case,
+                case: case.clone(),
             }
         })
         .collect()

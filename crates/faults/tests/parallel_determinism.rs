@@ -1,0 +1,66 @@
+//! Golden pin: the parallelized fault matrix and fuzz sweep produce
+//! byte-identical transcripts at every pool size.
+//!
+//! `run_matrix` and `fuzz` now fan their cases out over the rayon pool;
+//! their whole observable surface — matrix rows, fuzz log lines, the
+//! report — must be the same bytes at 1, 2 and 8 threads, or a reported
+//! reproducer would stop replaying across machines.
+
+use rayon::ThreadPool;
+use sstsp_faults::matrix::run_matrix;
+use sstsp_faults::{fuzz, FuzzConfig};
+
+fn matrix_transcript() -> String {
+    let mut out = String::new();
+    for row in run_matrix() {
+        out.push_str(&format!(
+            "{} | case={} | violations={} synced={} peak={:.3}\n",
+            row.label, row.case, row.violations, row.synced, row.peak_spread_us
+        ));
+    }
+    out
+}
+
+fn fuzz_transcript() -> String {
+    let cfg = FuzzConfig {
+        iterations: 4,
+        master_seed: 99,
+        max_events: 3,
+    };
+    let mut out = String::new();
+    let report = fuzz(&cfg, |line| {
+        out.push_str(line);
+        out.push('\n');
+    });
+    out.push_str(&format!("cases_run={}\n", report.cases_run));
+    match report.failure {
+        None => out.push_str("failure=none\n"),
+        Some(f) => out.push_str(&format!(
+            "failure: original={} shrunk={} violations={}\n",
+            f.original,
+            f.shrunk,
+            f.violations.len()
+        )),
+    }
+    out
+}
+
+#[test]
+fn matrix_transcript_identical_across_pool_sizes() {
+    let seq = ThreadPool::new(1).install(matrix_transcript);
+    assert!(seq.lines().count() >= 12, "matrix produced all rows");
+    for threads in [2, 8] {
+        let par = ThreadPool::new(threads).install(matrix_transcript);
+        assert_eq!(par, seq, "matrix transcript diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn fuzz_transcript_identical_across_pool_sizes() {
+    let seq = ThreadPool::new(1).install(fuzz_transcript);
+    assert!(seq.contains("cases_run=4"), "sweep ran to completion");
+    for threads in [2, 8] {
+        let par = ThreadPool::new(threads).install(fuzz_transcript);
+        assert_eq!(par, seq, "fuzz transcript diverged at {threads} threads");
+    }
+}

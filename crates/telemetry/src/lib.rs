@@ -33,7 +33,7 @@ pub mod registry;
 pub mod trace;
 
 pub use registry::{
-    counter_add, dist_record, enabled, gauge_max, recording, reset, set_enabled, snapshot,
-    DistSpec, RecordingGuard, Snapshot,
+    counter_add, counter_add_many, dist_record, enabled, gauge_max, recording, reset, set_enabled,
+    snapshot, DistSpec, RecordingGuard, Snapshot,
 };
 pub use trace::{RxOutcome, TraceEvent};

@@ -83,6 +83,28 @@ pub fn counter_add(key: &'static str, delta: u64) {
     LOCAL.with(|s| *lock_or_recover(s).counters.entry(key).or_insert(0) += delta);
 }
 
+/// Add a whole batch of counter deltas with a single shard access (one
+/// thread-local lookup, one uncontended lock) instead of one per entry.
+/// Zero-delta entries are skipped, so hot loops can accumulate into a
+/// fixed, unconditionally-incremented scratch block and flush it wholesale
+/// — the engine does this once per beacon period, which is what took the
+/// telemetry-enabled engine path from ~19 % overhead to under the 8 %
+/// budget (see `BENCH_engine.json`'s `telemetry` block).
+#[inline]
+pub fn counter_add_many(entries: &[(&'static str, u64)]) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|s| {
+        let mut shard = lock_or_recover(s);
+        for &(key, delta) in entries {
+            if delta != 0 {
+                *shard.counters.entry(key).or_insert(0) += delta;
+            }
+        }
+    });
+}
+
 /// Raise the gauge `key` to at least `value` (no-op when disabled). Gauges
 /// merge by maximum — the only order-independent choice for a
 /// "high-water mark" observable like peak queue depth.
@@ -257,6 +279,42 @@ mod tests {
         assert_eq!(snap.counter("test.nothing"), 0);
         assert_eq!(snap.gauge("test.nothing.g"), None);
         assert!(!snap.dists.contains_key("test.nothing.d"));
+    }
+
+    #[test]
+    fn counter_add_many_matches_individual_adds() {
+        let _g = recording();
+        counter_add("test.batch.a", 1);
+        counter_add("test.batch.b", 2);
+        let individual = (
+            snapshot().counter("test.batch.a"),
+            snapshot().counter("test.batch.b"),
+        );
+        reset();
+        counter_add_many(&[
+            ("test.batch.a", 1),
+            ("test.batch.b", 2),
+            ("test.batch.c", 0),
+        ]);
+        let snap = snapshot();
+        assert_eq!(
+            (snap.counter("test.batch.a"), snap.counter("test.batch.b")),
+            individual
+        );
+        // Zero deltas never materialize a key.
+        assert!(!snap.counters.contains_key("test.batch.c"));
+        // Batches accumulate like individual adds.
+        counter_add_many(&[("test.batch.a", 4)]);
+        assert_eq!(snapshot().counter("test.batch.a"), 5);
+    }
+
+    #[test]
+    fn counter_add_many_disabled_records_nothing() {
+        let _g = recording();
+        set_enabled(false);
+        counter_add_many(&[("test.batch.off", 9)]);
+        set_enabled(true);
+        assert_eq!(snapshot().counter("test.batch.off"), 0);
     }
 
     #[test]

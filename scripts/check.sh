@@ -37,6 +37,15 @@ cargo run --release -q -p sstsp-faults --bin scenario_fuzz -- matrix
 echo "==> scenario fuzz (fixed seed, bounded iterations)"
 cargo run --release -q -p sstsp-faults --bin scenario_fuzz -- fuzz --iters 10 --seed 2006
 
+echo "==> thread-determinism at RAYON_NUM_THREADS=1,2,8 (sweep bytes independent of pool size)"
+for threads in 1 2 8; do
+    echo "    RAYON_NUM_THREADS=$threads"
+    RAYON_NUM_THREADS=$threads cargo test -q --release -p sstsp --test thread_determinism
+done
+
+echo "==> work-stealing deque stress smoke (concurrent steal, exactly-once claims)"
+cargo test -q --release -p rayon deque_stress
+
 echo "==> telemetry-overhead smoke (disabled-path throughput vs BENCH_engine.json)"
 cargo run --release -q -p sstsp-bench --bin perf_baseline -- --smoke
 

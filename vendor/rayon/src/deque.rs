@@ -1,0 +1,280 @@
+//! A Chase–Lev work-stealing deque over `usize` task ids.
+//!
+//! One deque per pool participant: the owner pushes and pops at the
+//! *bottom* (LIFO, cache-warm), thieves steal from the *top* (FIFO, the
+//! oldest — and for chunked `par_iter` batches the largest remaining —
+//! work). The implementation follows Chase & Lev, "Dynamic Circular
+//! Work-Stealing Deque" (SPAA '05), with the memory-ordering discipline of
+//! Lê et al. (PPoPP '13), under two simplifications that keep it easy to
+//! audit:
+//!
+//! * **Fixed capacity.** The buffer never grows; [`StealDeque::push`]
+//!   reports a full deque instead. The pool sizes each deque for the batch
+//!   it distributes, so the growth path (the hard part of Chase–Lev:
+//!   buffer replacement needs epoch/hazard reclamation) never exists.
+//! * **Atomic slots.** Elements are bare `usize` task ids stored in
+//!   `AtomicUsize` cells, so even a theoretically stale read is a defined
+//!   value — a thief that loses the `top` CAS discards whatever it read.
+//!   There is no `unsafe` in this module.
+//!
+//! `top` only ever increases (claims) and `bottom` only moves at the owner
+//! end, so a successful `compare_exchange` on `top` claims index `top`
+//! exactly once: no element is lost or handed out twice. The
+//! `deque_stress_*` tests hammer exactly that property from concurrent
+//! thieves; `scripts/check.sh` runs them as the concurrency smoke.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
+
+/// Fixed-capacity work-stealing deque of `usize` task ids.
+///
+/// Thread contract: [`push`](StealDeque::push) and
+/// [`pop`](StealDeque::pop) must only be called by the deque's owner (one
+/// thread at a time); [`steal`](StealDeque::steal) may be called from any
+/// thread concurrently with everything else. Violating the owner contract
+/// cannot corrupt memory (all state is atomic) but can double-deliver a
+/// task id.
+pub struct StealDeque {
+    /// Steal end. Monotonically increasing; a successful CAS here claims
+    /// the element at the old value.
+    top: AtomicIsize,
+    /// Owner end. Only the owner writes it.
+    bottom: AtomicIsize,
+    /// Power-of-two circular buffer of task ids.
+    slots: Box<[AtomicUsize]>,
+    /// `slots.len() - 1`, for cheap index wrapping.
+    mask: usize,
+}
+
+impl StealDeque {
+    /// Create a deque able to hold at least `cap` elements at once.
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(2).next_power_of_two();
+        StealDeque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            slots: (0..cap).map(|_| AtomicUsize::new(0)).collect(),
+            mask: cap - 1,
+        }
+    }
+
+    /// Number of elements the deque can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Owner-only: push `v` at the bottom. Returns `Err(v)` if the deque
+    /// is full (the pool sizes deques so this does not happen in batch
+    /// distribution; the stress tests exercise it).
+    pub fn push(&self, v: usize) -> Result<(), usize> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= self.slots.len() as isize {
+            return Err(v);
+        }
+        self.slots[(b as usize) & self.mask].store(v, Ordering::Relaxed);
+        // Release: a thief that Acquire-loads the new bottom sees the slot.
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only: pop from the bottom (most recently pushed).
+    pub fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // Order the bottom write before reading top: a concurrent thief
+        // must either see the reservation or we must see its claim.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Already empty; undo the reservation.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let v = self.slots[(b as usize) & self.mask].load(Ordering::Relaxed);
+        if t == b {
+            // Last element: race the thieves for it via top.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then_some(v);
+        }
+        Some(v)
+    }
+
+    /// Any thread: steal from the top (least recently pushed). Returns
+    /// `None` when the deque looks empty *or* when another thief (or the
+    /// owner taking the last element) won the race — callers treat both as
+    /// "look elsewhere"; batch termination is decided by the pool's
+    /// remaining-task counter, never by a single failed steal.
+    pub fn steal(&self) -> Option<usize> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return None;
+        }
+        let v = self.slots[(t as usize) & self.mask].load(Ordering::Relaxed);
+        self.top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+            .then_some(v)
+    }
+
+    /// Best-effort element count (exact when quiescent).
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque looks empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let d = StealDeque::with_capacity(8);
+        for v in [10, 11, 12] {
+            d.push(v).unwrap();
+        }
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.steal(), Some(10), "thief takes the oldest");
+        assert_eq!(d.pop(), Some(12), "owner takes the newest");
+        assert_eq!(d.pop(), Some(11));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn push_reports_full() {
+        let d = StealDeque::with_capacity(2);
+        assert_eq!(d.capacity(), 2);
+        d.push(1).unwrap();
+        d.push(2).unwrap();
+        assert_eq!(d.push(3), Err(3));
+        assert_eq!(d.steal(), Some(1));
+        d.push(3).unwrap();
+        assert_eq!(d.pop(), Some(3));
+    }
+
+    #[test]
+    fn wraps_around_the_ring() {
+        let d = StealDeque::with_capacity(4);
+        for round in 0..10 {
+            for v in 0..3 {
+                d.push(round * 3 + v).unwrap();
+            }
+            assert_eq!(d.steal(), Some(round * 3));
+            assert_eq!(d.pop(), Some(round * 3 + 2));
+            assert_eq!(d.pop(), Some(round * 3 + 1));
+            assert!(d.pop().is_none());
+        }
+    }
+
+    /// Stress scale: heavier under `--release` (check.sh), lighter for the
+    /// plain debug test suite.
+    const STRESS_ITEMS: usize = if cfg!(debug_assertions) {
+        20_000
+    } else {
+        200_000
+    };
+
+    /// The work-stealing safety property: with one owner interleaving
+    /// pushes and pops and several concurrent thieves, every pushed id is
+    /// claimed exactly once.
+    #[test]
+    fn deque_stress_concurrent_steal_claims_each_item_exactly_once() {
+        const THIEVES: usize = 4;
+        let d = StealDeque::with_capacity(1024);
+        let claims: Vec<AtomicUsize> = (0..STRESS_ITEMS).map(|_| AtomicUsize::new(0)).collect();
+        let claimed_total = AtomicUsize::new(0);
+        let done = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            for _ in 0..THIEVES {
+                s.spawn(|| {
+                    while !done.load(Ordering::Acquire) {
+                        match d.steal() {
+                            Some(v) => {
+                                claims[v].fetch_add(1, Ordering::Relaxed);
+                                claimed_total.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                });
+            }
+            // Owner: push in bursts, pop a little (claiming too), so both
+            // ends stay hot while thieves hammer the top.
+            let mut next = 0usize;
+            while next < STRESS_ITEMS {
+                let burst = (STRESS_ITEMS - next).min(64);
+                for _ in 0..burst {
+                    if d.push(next).is_err() {
+                        break; // full: let thieves drain
+                    }
+                    next += 1;
+                }
+                for _ in 0..8 {
+                    if let Some(v) = d.pop() {
+                        claims[v].fetch_add(1, Ordering::Relaxed);
+                        claimed_total.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            // Drain the rest ourselves; thieves may still claim some.
+            while let Some(v) = d.pop() {
+                claims[v].fetch_add(1, Ordering::Relaxed);
+                claimed_total.fetch_add(1, Ordering::Relaxed);
+            }
+            while claimed_total.load(Ordering::Acquire) < STRESS_ITEMS {
+                std::thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        });
+
+        assert_eq!(claimed_total.load(Ordering::Relaxed), STRESS_ITEMS);
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i} claimed wrongly");
+        }
+    }
+
+    /// Thieves only (no owner pops after the fill): the batch-distribution
+    /// shape the pool actually uses.
+    #[test]
+    fn deque_stress_pure_steal_drain() {
+        const THIEVES: usize = 8;
+        let items = STRESS_ITEMS / 2;
+        let d = StealDeque::with_capacity(items);
+        for v in 0..items {
+            d.push(v).unwrap();
+        }
+        let claims: Vec<AtomicUsize> = (0..items).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..THIEVES {
+                s.spawn(|| loop {
+                    match d.steal() {
+                        Some(v) => {
+                            claims[v].fetch_add(1, Ordering::Relaxed);
+                        }
+                        None if d.is_empty() => break,
+                        None => std::thread::yield_now(),
+                    }
+                });
+            }
+        });
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i} claimed wrongly");
+        }
+    }
+}

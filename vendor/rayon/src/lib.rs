@@ -1,45 +1,76 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — now with real parallelism.
 //!
-//! Exposes the tiny slice of the rayon API the sweep layer uses —
-//! `par_iter()` on slices and `Vec`, followed by `map` and `collect` —
-//! executing sequentially in deterministic input order. Because real rayon
-//! also preserves input order through `collect`, sweep results are
-//! bit-identical whether this stand-in or the real crate is in play, and
-//! `RAYON_NUM_THREADS` trivially has no effect on output. See
+//! Exposes the slice of the rayon API the sweep layer uses — `par_iter()`
+//! on slices and `Vec`, followed by `map` and `collect` — executed on an
+//! in-workspace work-stealing thread pool ([`pool`]): per-worker
+//! Chase–Lev deques with stealing ([`deque`]), chunked splitting of the
+//! input, and an index-stamped, order-preserving `collect`.
+//!
+//! Like upstream rayon, results are **bit-identical regardless of thread
+//! count or steal interleaving**: items are pure functions of their input
+//! (enforced by the `Sync`/`Send` bounds), chunks are reassembled by input
+//! index, and nothing about scheduling reaches the output. Thread count
+//! comes from `RAYON_NUM_THREADS` (default: available parallelism); a
+//! scoped [`ThreadPool`] can override it per closure. See
 //! `vendor/README.md` for why this crate is vendored.
 
 #![warn(missing_docs)]
 
+pub mod deque;
+pub mod pool;
+
+pub use pool::{current_num_threads, ThreadPool};
+
 /// Drop-in for `rayon::prelude`.
 pub mod prelude {
-    /// Conversion into a (sequential) "parallel" iterator over references.
+    use crate::pool;
+    use std::sync::Mutex;
+
+    /// Conversion into a parallel iterator over references.
     pub trait IntoParallelRefIterator<'a> {
         /// Item type yielded by the iterator.
         type Item: 'a;
         /// The iterator type.
         type Iter: ParallelIterator<Item = Self::Item>;
 
-        /// Iterate over `&self` in input order.
+        /// Iterate over `&self`; `collect` preserves input order.
         fn par_iter(&'a self) -> Self::Iter;
     }
 
-    /// Ordered iterator mirroring `rayon::iter::ParallelIterator`.
-    pub trait ParallelIterator: Sized {
+    /// Indexed parallel iterator mirroring `rayon::iter::ParallelIterator`
+    /// for the exact-length sources this stand-in supports.
+    ///
+    /// `Sync` because the iterator itself is shared across the pool's
+    /// workers, each producing disjoint indices via
+    /// [`item_at`](ParallelIterator::item_at); `Send` items because chunk
+    /// outputs travel back to the collecting thread.
+    pub trait ParallelIterator: Sized + Sync {
         /// Item type.
-        type Item;
+        type Item: Send;
 
-        /// Drive the iterator, yielding items in input order.
-        fn drive(self, consume: &mut dyn FnMut(Self::Item));
+        /// Exact number of items.
+        fn len(&self) -> usize;
+
+        /// Whether the iterator has no items.
+        fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Produce the item at `index`. Called concurrently from pool
+        /// workers, each index exactly once per drive.
+        fn item_at(&self, index: usize) -> Self::Item;
 
         /// Map each item through `f`, preserving order.
         fn map<F, R>(self, f: F) -> Map<Self, F>
         where
-            F: Fn(Self::Item) -> R,
+            F: Fn(Self::Item) -> R + Sync,
+            R: Send,
         {
             Map { base: self, f }
         }
 
-        /// Collect all items in input order.
+        /// Collect all items in input order, computing them in parallel on
+        /// the current thread's pool.
         fn collect<C>(self) -> C
         where
             C: FromParallelIterator<Self::Item>,
@@ -49,20 +80,53 @@ pub mod prelude {
     }
 
     /// Ordered collection from a parallel iterator.
-    pub trait FromParallelIterator<T> {
+    pub trait FromParallelIterator<T: Send> {
         /// Build the collection, consuming the iterator.
         fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
     }
 
-    impl<T> FromParallelIterator<T> for Vec<T> {
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        /// Index-stamped, order-preserving parallel collect: the input is
+        /// split into contiguous chunks, each chunk is computed as one
+        /// pool task into its own buffer stamped with its start index, and
+        /// the buffers are reassembled in index order. The result is
+        /// byte-for-byte the sequential output whatever the thread count
+        /// or steal interleaving.
         fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
-            let mut out = Vec::new();
-            iter.drive(&mut |item| out.push(item));
+            let n = iter.len();
+            if n == 0 {
+                return Vec::new();
+            }
+            // ~4 chunks per participant: enough slack for stealing to
+            // balance uneven task costs, coarse enough that per-chunk
+            // bookkeeping is noise.
+            let chunk = n.div_ceil(pool::current_num_threads() * 4).max(1);
+            let n_chunks = n.div_ceil(chunk);
+            let pieces: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+            pool::run_indexed(n_chunks, &|c: usize| {
+                let start = c * chunk;
+                let end = (start + chunk).min(n);
+                let mut buf = Vec::with_capacity(end - start);
+                for i in start..end {
+                    buf.push(iter.item_at(i));
+                }
+                pieces
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((start, buf));
+            });
+            let mut pieces = pieces.into_inner().unwrap_or_else(|e| e.into_inner());
+            pieces.sort_unstable_by_key(|&(start, _)| start);
+            debug_assert_eq!(pieces.len(), n_chunks);
+            let mut out = Vec::with_capacity(n);
+            for (_, mut buf) in pieces {
+                out.append(&mut buf);
+            }
             out
         }
     }
 
-    /// Iterator over `&[T]` in input order.
+    /// Iterator over `&[T]`.
     pub struct SliceIter<'a, T> {
         slice: &'a [T],
     }
@@ -70,10 +134,12 @@ pub mod prelude {
     impl<'a, T: Sync + 'a> ParallelIterator for SliceIter<'a, T> {
         type Item = &'a T;
 
-        fn drive(self, consume: &mut dyn FnMut(Self::Item)) {
-            for item in self.slice {
-                consume(item);
-            }
+        fn len(&self) -> usize {
+            self.slice.len()
+        }
+
+        fn item_at(&self, index: usize) -> &'a T {
+            &self.slice[index]
         }
     }
 
@@ -104,13 +170,17 @@ pub mod prelude {
     impl<I, F, R> ParallelIterator for Map<I, F>
     where
         I: ParallelIterator,
-        F: Fn(I::Item) -> R,
+        F: Fn(I::Item) -> R + Sync,
+        R: Send,
     {
         type Item = R;
 
-        fn drive(self, consume: &mut dyn FnMut(Self::Item)) {
-            let f = self.f;
-            self.base.drive(&mut |item| consume(f(item)));
+        fn len(&self) -> usize {
+            self.base.len()
+        }
+
+        fn item_at(&self, index: usize) -> R {
+            (self.f)(self.base.item_at(index))
         }
     }
 }
@@ -118,6 +188,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::ThreadPool;
 
     #[test]
     fn par_iter_map_collect_preserves_order() {
@@ -131,5 +202,58 @@ mod tests {
         let xs = [3u64, 1, 4];
         let ys: Vec<u64> = xs[..].par_iter().map(|&x| x + 1).collect();
         assert_eq!(ys, vec![4, 2, 5]);
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let xs: Vec<u32> = Vec::new();
+        let ys: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn order_preserved_across_pool_sizes() {
+        // Uneven task costs force stealing; the collected order must stay
+        // the input order for every pool size.
+        let xs: Vec<usize> = (0..257).collect();
+        let expensive = |&x: &usize| {
+            let mut acc = x as u64;
+            for _ in 0..(x % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        };
+        let seq: Vec<(usize, u64)> =
+            ThreadPool::new(1).install(|| xs.par_iter().map(expensive).collect());
+        for threads in [2, 4, 8] {
+            let par: Vec<(usize, u64)> =
+                ThreadPool::new(threads).install(|| xs.par_iter().map(expensive).collect());
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn input_smaller_than_pool_still_completes() {
+        let xs = [7u32];
+        let ys: Vec<u32> =
+            ThreadPool::new(8).install(|| xs[..].par_iter().map(|&x| x + 1).collect());
+        assert_eq!(ys, vec![8]);
+    }
+
+    #[test]
+    fn nested_par_iter_runs_inline() {
+        let pool = ThreadPool::new(4);
+        let xs: Vec<u32> = (0..64).collect();
+        let ys: Vec<u32> = pool.install(|| {
+            xs.par_iter()
+                .map(|&x| {
+                    // A nested collect inside a pool task must not deadlock.
+                    let inner: Vec<u32> = [x, x + 1][..].par_iter().map(|&v| v * 2).collect();
+                    inner.iter().sum()
+                })
+                .collect()
+        });
+        let expect: Vec<u32> = xs.iter().map(|&x| 2 * x + 2 * (x + 1)).collect();
+        assert_eq!(ys, expect);
     }
 }

@@ -1,0 +1,446 @@
+//! The work-stealing thread pool executing `par_iter` batches.
+//!
+//! ## Shape
+//!
+//! A pool with `threads` participants spawns `threads - 1` worker threads;
+//! the thread submitting a batch is always the final participant, so one
+//! thread of compute is never wasted on coordination. A batch is a set of
+//! `n` task ids (`0..n`, chunk indices for `collect`), distributed
+//! round-robin across one [`StealDeque`] per participant. Each participant
+//! pops its own deque LIFO and, when empty, sweeps the others' tops
+//! (steal, FIFO); termination is decided by a shared remaining-task
+//! counter, so a lost steal race can never strand a task or a worker.
+//!
+//! ## Determinism
+//!
+//! The pool intentionally has no influence on *results*: task ids map to
+//! input indices, every task writes only its own output slot(s), and the
+//! collector reassembles outputs by index (see `iter.rs`). Thread count
+//! and steal interleaving decide only *which thread* computes an index,
+//! never *what* is computed — every run function is required (by the
+//! `Sync` bounds on the iterator traits) to be a pure function of the
+//! item. The `thread_determinism` suite in `crates/core` pins this
+//! end-to-end against the simulation workloads.
+//!
+//! ## Configuration
+//!
+//! The global pool sizes itself from `RAYON_NUM_THREADS` (falling back to
+//! [`std::thread::available_parallelism`]) on first use, exactly like
+//! upstream rayon. [`ThreadPool::new`] + [`ThreadPool::install`] scope a
+//! differently-sized pool over a closure — the perf baseline uses this to
+//! measure sweep scaling at 1/2/4/8 threads in one process.
+
+use crate::deque::StealDeque;
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+thread_local! {
+    /// Set inside pool worker threads: a nested `par_iter` on a worker
+    /// runs inline instead of deadlocking on the (serialized) batch lock.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Pool selected by [`ThreadPool::install`] on this thread, if any.
+    static CURRENT: RefCell<Option<Arc<PoolInner>>> = const { RefCell::new(None) };
+}
+
+/// Lock surviving poisoning: a panicking batch must not wedge the pool for
+/// every later caller in the process.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One in-flight batch: the type-erased chunk runner plus everything the
+/// participants need to claim and retire its tasks.
+struct Batch {
+    /// Runs one task id. The `'static` is a lie told by `run_batch`
+    /// (see its safety comment): the reference is only ever invoked for a
+    /// claimed task, and `run_batch` does not return until every task has
+    /// been claimed *and finished*, so the referent outlives every call.
+    run: &'static (dyn Fn(usize) + Sync),
+    /// Tasks not yet finished. Participants retire tasks here *after*
+    /// running them; `0` therefore means "all work done", not merely
+    /// "all work claimed".
+    remaining: AtomicUsize,
+    /// One deque per participant, caller last.
+    deques: Vec<StealDeque>,
+    /// First panic raised by a task, rethrown by the submitting thread.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Batch {
+    /// Claim a task: own deque first (LIFO), then sweep the others' tops.
+    fn find(&self, me: usize) -> Option<usize> {
+        if let Some(v) = self.deques[me].pop() {
+            return Some(v);
+        }
+        let n = self.deques.len();
+        for k in 1..n {
+            if let Some(v) = self.deques[(me + k) % n].steal() {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Claim-and-run until the batch is complete. Returns only when
+    /// `remaining` has reached zero, i.e. every task has *finished*.
+    fn work(&self, me: usize) {
+        loop {
+            match self.find(me) {
+                Some(task) => {
+                    if let Err(p) = catch_unwind(AssertUnwindSafe(|| (self.run)(task))) {
+                        let mut slot = lock(&self.panic);
+                        if slot.is_none() {
+                            *slot = Some(p);
+                        }
+                    }
+                    if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        return;
+                    }
+                }
+                None => {
+                    if self.remaining.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    // Tail of the batch: the last tasks are executing on
+                    // other participants. Tasks are coarse (whole
+                    // simulation runs), so a yield loop beats the
+                    // complexity of a second condvar handshake.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Worker-visible pool state: a monotonically increasing batch epoch and
+/// the batch itself, plus the shutdown flag for owned pools.
+struct PoolState {
+    epoch: u64,
+    shutdown: bool,
+    batch: Option<Arc<Batch>>,
+}
+
+/// Shared pool core; workers and submitters hold it via `Arc`.
+pub(crate) struct PoolInner {
+    /// Participants including the submitting thread.
+    threads: usize,
+    state: Mutex<PoolState>,
+    /// Workers sleep here between batches.
+    work_cv: Condvar,
+    /// Serializes batches: one `collect` owns the pool at a time (threads
+    /// *within* a batch share freely).
+    batch_lock: Mutex<()>,
+}
+
+impl PoolInner {
+    /// Execute `run(0..n_tasks)` across the pool, returning when every
+    /// task has finished. Panics from tasks are rethrown here (first one
+    /// wins; the rest of the batch still runs — tasks are independent).
+    pub(crate) fn run_batch(&self, n_tasks: usize, run: &(dyn Fn(usize) + Sync)) {
+        if n_tasks == 0 {
+            return;
+        }
+        // Single-threaded pools and nested calls from inside a worker run
+        // inline: same order a 1-thread batch would use, no coordination.
+        if self.threads == 1 || IN_WORKER.with(Cell::get) {
+            for i in 0..n_tasks {
+                run(i);
+            }
+            return;
+        }
+
+        let _serial = lock(&self.batch_lock);
+        let parts = self.threads;
+        // SAFETY (of the lifetime transmute): `run` escapes into worker
+        // threads only through `Batch::run`, which is invoked exclusively
+        // for tasks claimed from the batch's deques. `remaining` counts
+        // *finished* tasks and both `Batch::work` below and the drain loop
+        // in workers return only once it hits zero, so every invocation of
+        // `run` completes before this frame — and the closure it borrows —
+        // is gone. Late-waking workers see empty deques, claim nothing,
+        // and never touch `run`.
+        let run: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(run) };
+        let batch = Arc::new(Batch {
+            run,
+            remaining: AtomicUsize::new(n_tasks),
+            deques: (0..parts)
+                .map(|_| StealDeque::with_capacity(n_tasks.div_ceil(parts)))
+                .collect(),
+            panic: Mutex::new(None),
+        });
+        for i in 0..n_tasks {
+            batch.deques[i % parts]
+                .push(i)
+                .expect("deques sized for the batch");
+        }
+        {
+            let mut st = lock(&self.state);
+            st.epoch += 1;
+            st.batch = Some(Arc::clone(&batch));
+            self.work_cv.notify_all();
+        }
+        // The submitter is the last participant. While it works the batch
+        // it counts as a pool worker: a nested `par_iter` inside one of
+        // its own tasks must run inline rather than re-enter `run_batch`
+        // and self-deadlock on the (non-reentrant) batch lock.
+        {
+            struct InWorker(bool);
+            impl Drop for InWorker {
+                fn drop(&mut self) {
+                    let prev = self.0;
+                    IN_WORKER.with(|w| w.set(prev));
+                }
+            }
+            let _guard = InWorker(IN_WORKER.with(|w| w.replace(true)));
+            batch.work(parts - 1);
+        }
+        debug_assert_eq!(batch.remaining.load(Ordering::Acquire), 0);
+        lock(&self.state).batch = None;
+        let panicked = lock(&batch.panic).take();
+        if let Some(p) = panicked {
+            resume_unwind(p);
+        }
+    }
+}
+
+/// Worker main loop: sleep until a new batch epoch appears, work it to
+/// completion, repeat. A worker that misses a short batch entirely (epoch
+/// advanced but the batch already retired) just resynchronizes its epoch.
+fn worker_main(inner: Arc<PoolInner>, me: usize) {
+    IN_WORKER.with(|w| w.set(true));
+    let mut seen_epoch = 0u64;
+    loop {
+        let batch = {
+            let mut st = lock(&inner.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.batch.clone();
+                }
+                st = inner.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        if let Some(b) = batch {
+            b.work(me);
+        }
+    }
+}
+
+/// An owned work-stealing pool. [`ThreadPool::install`] scopes it over a
+/// closure; dropping it shuts the workers down. The process-global pool
+/// (used when no install is active) is created lazily on first use and
+/// sized by `RAYON_NUM_THREADS`.
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Build a pool with exactly `threads` participants (clamped to ≥ 1).
+    /// `threads - 1` worker threads are spawned; the submitting thread is
+    /// the last participant of every batch.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let inner = Arc::new(PoolInner {
+            threads,
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                shutdown: false,
+                batch: None,
+            }),
+            work_cv: Condvar::new(),
+            batch_lock: Mutex::new(()),
+        });
+        let workers = (0..threads - 1)
+            .map(|me| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("rayon-worker-{me}"))
+                    .spawn(move || worker_main(inner, me))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { inner, workers }
+    }
+
+    /// Number of participants (including the submitting thread).
+    pub fn current_num_threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// Run `f` with this pool handling every `par_iter` executed on the
+    /// current thread (restores the previous selection on exit, panic
+    /// included).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<Arc<PoolInner>>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+            }
+        }
+        let _restore = Restore(CURRENT.with(|c| c.borrow_mut().replace(Arc::clone(&self.inner))));
+        f()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.inner.state);
+            st.shutdown = true;
+            self.inner.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Global pool size: `RAYON_NUM_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism.
+fn default_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+/// The pool a `par_iter` on this thread would use: the installed pool if
+/// inside [`ThreadPool::install`], the global pool otherwise.
+fn current() -> Arc<PoolInner> {
+    CURRENT
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(|| Arc::clone(&global().inner))
+}
+
+/// Participants in the pool a `par_iter` on this thread would use
+/// (1 inside a pool worker: nested iteration runs inline).
+pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        1
+    } else {
+        current().threads
+    }
+}
+
+/// Execute `run(0..n_tasks)` on the current thread's pool; returns when
+/// every task has finished.
+pub(crate) fn run_indexed(n_tasks: usize, run: &(dyn Fn(usize) + Sync)) {
+    if IN_WORKER.with(Cell::get) {
+        for i in 0..n_tasks {
+            run(i);
+        }
+        return;
+    }
+    current().run_batch(n_tasks, run);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_runs_every_task_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.install(|| {
+            run_indexed(1000, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline_in_order() {
+        let pool = ThreadPool::new(1);
+        let order = Mutex::new(Vec::new());
+        pool.install(|| {
+            run_indexed(16, &|i| {
+                order.lock().unwrap().push(i);
+            })
+        });
+        assert_eq!(*order.lock().unwrap(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pools_are_reusable_across_batches() {
+        let pool = ThreadPool::new(3);
+        for round in 0..20 {
+            let sum = AtomicUsize::new(0);
+            pool.install(|| {
+                run_indexed(round + 1, &|i| {
+                    sum.fetch_add(i + 1, Ordering::Relaxed);
+                })
+            });
+            let n = round + 1;
+            assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_to_submitter() {
+        let pool = ThreadPool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                run_indexed(8, &|i| {
+                    if i == 5 {
+                        panic!("task 5 exploded");
+                    }
+                })
+            })
+        }));
+        assert!(r.is_err(), "panic must cross the pool");
+        // The pool survives for the next batch.
+        let count = AtomicUsize::new(0);
+        pool.install(|| {
+            run_indexed(8, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn install_is_scoped_and_restored() {
+        let a = ThreadPool::new(2);
+        let b = ThreadPool::new(5);
+        assert_eq!(a.current_num_threads(), 2);
+        a.install(|| {
+            assert_eq!(current().threads, 2);
+            b.install(|| assert_eq!(current().threads, 5));
+            assert_eq!(current().threads, 2);
+        });
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_its_workers() {
+        let pool = ThreadPool::new(4);
+        let sum = AtomicUsize::new(0);
+        pool.install(|| {
+            run_indexed(100, &|i| {
+                sum.fetch_add(i, Ordering::Relaxed);
+            })
+        });
+        drop(pool); // must not hang or leak panics
+        assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+}
