@@ -1,0 +1,22 @@
+use sstsp::{Network, ProtocolKind, ScenarioConfig};
+use std::time::Instant;
+
+fn main() {
+    for &(n, dur) in &[(100u32, 20.0f64), (1000, 5.0), (5000, 1.0)] {
+        let cfg = ScenarioConfig::new(ProtocolKind::Sstsp, n, dur, 2006);
+        let bps = cfg.total_bps();
+        let t0 = Instant::now();
+        let net = Network::build(&cfg);
+        let t_build = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let r = net.run();
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "n={n:5} bps={bps} build={t_build:.4}s run={dt:.4}s bps/s={:.1} ns/node/bp={:.1} peak={:.1} sync={:?}",
+            bps as f64 / dt,
+            dt * 1e9 / (bps as f64 * n as f64),
+            r.peak_spread_us,
+            r.sync_latency_s
+        );
+    }
+}

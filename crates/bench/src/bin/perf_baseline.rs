@@ -1,14 +1,21 @@
 //! Reproducible performance baseline for the simulation hot paths.
 //!
-//! Measures three throughput numbers and records them in
+//! Measures four throughput figures and records them in
 //! `BENCH_engine.json` at the repository root:
 //!
 //! * **BPs/sec** — simulated beacon periods per wall-clock second on the
 //!   100-node SSTSP scenario (the engine hot loop + µTESLA verification).
+//! * **large-n BPs/sec** — the same figure at n=1000 and n=5000 (the
+//!   SoA fast-path regime).
 //! * **runs/sec** — complete runs per second across a `run_seeds` sweep
 //!   (the figure-regeneration workload).
 //! * **hashes/sec** — `chain_step` applications per second (the µTESLA
 //!   primitive every signer/verifier bottoms out in).
+//!
+//! Every figure is the **median of [`REPEATS`] repetitions** (each
+//! repetition a time-bounded loop), so one scheduler hiccup on a noisy
+//! host cannot skew the recorded number; the repeat count is written to
+//! the JSON alongside the results.
 //!
 //! Usage:
 //!
@@ -34,10 +41,17 @@
 //! (default 0.98, i.e. a >2% regression) times the recorded
 //! `after.bps_per_sec`; nothing is written. This is the CI guard that the
 //! telemetry layer stays free when off.
+//!
+//! `--smoke-large` runs the n=1000 scenario once per engine path (SoA
+//! fast path on, then `SSTSP_NO_FASTPATH=1`), fails if either run exceeds
+//! `SSTSP_LARGE_SMOKE_BUDGET_S` wall seconds (default 5 — a catastrophic-
+//! regression bound, ~1000x the expected release-build cost), and fails if
+//! the two paths disagree on any observable (full spread series + every
+//! summary counter). Nothing is written.
 
 use rayon::ThreadPool;
 use sstsp::sweep::run_seeds;
-use sstsp::{Network, ProtocolKind, ScenarioConfig};
+use sstsp::{Network, ProtocolKind, RunResult, ScenarioConfig};
 use sstsp_crypto::chain::chain_step;
 use std::time::Instant;
 
@@ -45,47 +59,81 @@ use std::time::Instant;
 const ENGINE_NODES: u32 = 100;
 const ENGINE_DURATION_S: f64 = 20.0;
 const ENGINE_SEED: u64 = 2006;
+/// Large-n engine workload points: (nodes, duration_s).
+const LARGE_POINTS: [(u32, f64); 2] = [(1000, 5.0), (5000, 1.0)];
 /// Sweep workload.
 const SWEEP_NODES: u32 = 25;
 const SWEEP_DURATION_S: f64 = 10.0;
 const SWEEP_SEEDS: [u64; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
-/// Minimum wall time per measurement, seconds.
-const MIN_MEASURE_S: f64 = 3.0;
+/// Repetitions per workload; the recorded figure is the median.
+const REPEATS: usize = 5;
+/// Minimum wall time per repetition, seconds.
+const MIN_MEASURE_S: f64 = 1.0;
+
+/// Median of `reps` invocations of `f` (for odd `reps`, the exact middle).
+fn median_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut xs: Vec<f64> = (0..reps).map(|_| f()).collect();
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
 
 struct Measurement {
     bps_per_sec: f64,
+    large_bps: Vec<(u32, f64)>,
     runs_per_sec: f64,
     hashes_per_sec: f64,
 }
 
-fn measure_engine_for(min_s: f64) -> f64 {
-    let cfg = ScenarioConfig::new(
-        ProtocolKind::Sstsp,
-        ENGINE_NODES,
-        ENGINE_DURATION_S,
-        ENGINE_SEED,
-    );
+/// One time-bounded repetition of the BPs/sec figure for `cfg`.
+fn measure_bps_for(cfg: &ScenarioConfig, min_s: f64) -> f64 {
     let bps_per_run = cfg.total_bps();
     // Warm-up run.
-    std::hint::black_box(Network::build(&cfg).run());
+    std::hint::black_box(Network::build(cfg).run());
     let t0 = Instant::now();
     let mut runs = 0u64;
     while t0.elapsed().as_secs_f64() < min_s {
-        std::hint::black_box(Network::build(&cfg).run());
+        std::hint::black_box(Network::build(cfg).run());
         runs += 1;
     }
     (runs * bps_per_run) as f64 / t0.elapsed().as_secs_f64()
 }
 
+fn engine_cfg() -> ScenarioConfig {
+    ScenarioConfig::new(
+        ProtocolKind::Sstsp,
+        ENGINE_NODES,
+        ENGINE_DURATION_S,
+        ENGINE_SEED,
+    )
+}
+
+fn measure_engine_for(min_s: f64) -> f64 {
+    measure_bps_for(&engine_cfg(), min_s)
+}
+
 fn measure_engine() -> f64 {
-    measure_engine_for(MIN_MEASURE_S)
+    median_of(REPEATS, || measure_engine_for(MIN_MEASURE_S))
+}
+
+/// BPs/sec at each of the [`LARGE_POINTS`] — the regime the SoA fast
+/// path, batched receiver draws, and quiescent-BP skip exist for.
+fn measure_engine_large() -> Vec<(u32, f64)> {
+    LARGE_POINTS
+        .iter()
+        .map(|&(n, dur)| {
+            let cfg = ScenarioConfig::new(ProtocolKind::Sstsp, n, dur, ENGINE_SEED);
+            let r = median_of(REPEATS, || measure_bps_for(&cfg, MIN_MEASURE_S / 2.0));
+            eprintln!("  n={n}: {r:.1} BPs/sec");
+            (n, r)
+        })
+        .collect()
 }
 
 /// The engine workload with metrics recording live (counters, gauges,
 /// spread distribution — no trace hook, matching how a sweep would record).
 fn measure_engine_telemetry_on() -> f64 {
     let _guard = sstsp_telemetry::recording();
-    measure_engine_for(MIN_MEASURE_S)
+    median_of(REPEATS, || measure_engine_for(MIN_MEASURE_S))
 }
 
 /// Short telemetry-disabled engine check against the recorded baseline.
@@ -119,6 +167,59 @@ fn run_smoke(out: &str) -> ! {
     std::process::exit(0)
 }
 
+/// Time-bounded large-n smoke + engine-path equivalence gate (see module
+/// docs). Exits 1 on a budget overrun or any fast/legacy divergence.
+fn run_smoke_large() -> ! {
+    let budget_s: f64 = std::env::var("SSTSP_LARGE_SMOKE_BUDGET_S")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    let (n, dur) = LARGE_POINTS[0];
+    let cfg = ScenarioConfig::new(ProtocolKind::Sstsp, n, dur, ENGINE_SEED);
+    let timed_run = |label: &str| -> RunResult {
+        let t0 = Instant::now();
+        let r = Network::build(&cfg).run();
+        let dt = t0.elapsed().as_secs_f64();
+        eprintln!("smoke-large: {label} n={n} run took {dt:.3}s (budget {budget_s}s)");
+        if dt > budget_s {
+            eprintln!("smoke-large: FAIL — n={n} run blew the wall-clock budget");
+            std::process::exit(1)
+        }
+        r
+    };
+    let fast = timed_run("fast path");
+    std::env::set_var("SSTSP_NO_FASTPATH", "1");
+    let slow = timed_run("SSTSP_NO_FASTPATH=1");
+    std::env::remove_var("SSTSP_NO_FASTPATH");
+    let identical = fast.spread.values() == slow.spread.values()
+        && fast.peak_spread_us.to_bits() == slow.peak_spread_us.to_bits()
+        && fast.sync_latency_s == slow.sync_latency_s
+        && fast.steady_error_us == slow.steady_error_us
+        && fast.tx_successes == slow.tx_successes
+        && fast.tx_collisions == slow.tx_collisions
+        && fast.silent_windows == slow.silent_windows
+        && fast.reference_changes == slow.reference_changes
+        && fast.guard_rejections == slow.guard_rejections
+        && fast.mutesla_rejections == slow.mutesla_rejections
+        && fast.retargets == slow.retargets
+        && fast.final_reference == slow.final_reference;
+    if !identical {
+        eprintln!("smoke-large: FAIL — fast path and SSTSP_NO_FASTPATH=1 runs diverged");
+        eprintln!(
+            "  fast: peak={} sync={:?} tx={} legacy: peak={} sync={:?} tx={}",
+            fast.peak_spread_us,
+            fast.sync_latency_s,
+            fast.tx_successes,
+            slow.peak_spread_us,
+            slow.sync_latency_s,
+            slow.tx_successes
+        );
+        std::process::exit(1)
+    }
+    eprintln!("smoke-large: ok — paths bit-identical");
+    std::process::exit(0)
+}
+
 fn measure_sweep_for(min_s: f64) -> f64 {
     let base = ScenarioConfig::new(ProtocolKind::Sstsp, SWEEP_NODES, SWEEP_DURATION_S, 0);
     std::hint::black_box(run_seeds(&base, &SWEEP_SEEDS));
@@ -132,7 +233,7 @@ fn measure_sweep_for(min_s: f64) -> f64 {
 }
 
 fn measure_sweep() -> f64 {
-    measure_sweep_for(MIN_MEASURE_S)
+    median_of(REPEATS, || measure_sweep_for(MIN_MEASURE_S))
 }
 
 /// Scaling points for the sweep workload, measured on scoped pools.
@@ -146,7 +247,9 @@ fn measure_sweep_scaling() -> Vec<(usize, f64)> {
     SCALING_THREADS
         .iter()
         .map(|&t| {
-            let r = ThreadPool::new(t).install(|| measure_sweep_for(MIN_MEASURE_S / 2.0));
+            let r = median_of(REPEATS, || {
+                ThreadPool::new(t).install(|| measure_sweep_for(MIN_MEASURE_S / 2.0))
+            });
             eprintln!("  {t} thread(s): {r:.2} runs/sec");
             (t, r)
         })
@@ -154,28 +257,35 @@ fn measure_sweep_scaling() -> Vec<(usize, f64)> {
 }
 
 fn measure_hashes() -> f64 {
-    let mut x = [0x5Au8; 16];
-    // Warm-up.
-    for _ in 0..100_000 {
-        x = chain_step(&x);
-    }
-    let t0 = Instant::now();
-    let mut hashes = 0u64;
-    while t0.elapsed().as_secs_f64() < MIN_MEASURE_S / 2.0 {
-        for _ in 0..500_000 {
+    median_of(REPEATS, || {
+        let mut x = [0x5Au8; 16];
+        // Warm-up.
+        for _ in 0..100_000 {
             x = chain_step(&x);
         }
-        hashes += 500_000;
-    }
-    std::hint::black_box(x);
-    hashes as f64 / t0.elapsed().as_secs_f64()
+        let t0 = Instant::now();
+        let mut hashes = 0u64;
+        while t0.elapsed().as_secs_f64() < MIN_MEASURE_S / 2.0 {
+            for _ in 0..500_000 {
+                x = chain_step(&x);
+            }
+            hashes += 500_000;
+        }
+        std::hint::black_box(x);
+        hashes as f64 / t0.elapsed().as_secs_f64()
+    })
 }
 
 fn format_block(m: &Measurement) -> String {
-    format!(
-        "{{\n    \"bps_per_sec\": {:.1},\n    \"runs_per_sec\": {:.2},\n    \"hashes_per_sec\": {:.0}\n  }}",
-        m.bps_per_sec, m.runs_per_sec, m.hashes_per_sec
-    )
+    let mut s = format!("{{\n    \"bps_per_sec\": {:.1},\n", m.bps_per_sec);
+    for &(n, r) in &m.large_bps {
+        s.push_str(&format!("    \"large_n{n}_bps_per_sec\": {r:.1},\n"));
+    }
+    s.push_str(&format!(
+        "    \"runs_per_sec\": {:.2},\n    \"hashes_per_sec\": {:.0}\n  }}",
+        m.runs_per_sec, m.hashes_per_sec
+    ));
+    s
 }
 
 /// Extract the JSON object following `"<label>":` by brace matching.
@@ -216,6 +326,7 @@ fn main() {
     let mut label = "after".to_string();
     let mut out = format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR"));
     let mut smoke = false;
+    let mut smoke_large = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -231,9 +342,15 @@ fn main() {
                 smoke = true;
                 i += 1;
             }
+            "--smoke-large" => {
+                smoke_large = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf_baseline [--label before|after] [--out path] [--smoke]");
+                eprintln!(
+                    "usage: perf_baseline [--label before|after] [--out path] [--smoke] [--smoke-large]"
+                );
                 std::process::exit(2);
             }
         }
@@ -245,13 +362,18 @@ fn main() {
     if smoke {
         run_smoke(&out);
     }
+    if smoke_large {
+        run_smoke_large();
+    }
 
     eprintln!(
-        "measuring engine ({} nodes, {} s, seed {}) ...",
+        "measuring engine ({} nodes, {} s, seed {}; median of {REPEATS}) ...",
         ENGINE_NODES, ENGINE_DURATION_S, ENGINE_SEED
     );
     let bps_per_sec = measure_engine();
     eprintln!("  {bps_per_sec:.1} BPs/sec");
+    eprintln!("measuring large-n engine points ...");
+    let large_bps = measure_engine_large();
     eprintln!(
         "measuring sweep ({} nodes, {} s, {} seeds) ...",
         SWEEP_NODES,
@@ -273,6 +395,7 @@ fn main() {
 
     let m = Measurement {
         bps_per_sec,
+        large_bps,
         runs_per_sec,
         hashes_per_sec,
     };
@@ -283,9 +406,15 @@ fn main() {
     let other_block = extract_block(&existing, other_label);
 
     let mut body = String::from("{\n");
-    body.push_str("  \"schema\": \"sstsp-perf-baseline/v1\",\n");
+    body.push_str("  \"schema\": \"sstsp-perf-baseline/v2\",\n");
+    body.push_str(&format!("  \"repeats\": {REPEATS},\n"));
+    let large_desc = LARGE_POINTS
+        .iter()
+        .map(|&(n, d)| format!("n={n} duration_s={d}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     body.push_str(&format!(
-        "  \"workloads\": {{\n    \"engine\": \"SSTSP n={ENGINE_NODES} duration_s={ENGINE_DURATION_S} seed={ENGINE_SEED}\",\n    \"sweep\": \"SSTSP n={SWEEP_NODES} duration_s={SWEEP_DURATION_S} seeds=1..={}\",\n    \"hash\": \"chain_step (SHA-256 truncated to 128 bits)\"\n  }},\n",
+        "  \"workloads\": {{\n    \"engine\": \"SSTSP n={ENGINE_NODES} duration_s={ENGINE_DURATION_S} seed={ENGINE_SEED}\",\n    \"engine_large\": \"SSTSP {large_desc} seed={ENGINE_SEED}\",\n    \"sweep\": \"SSTSP n={SWEEP_NODES} duration_s={SWEEP_DURATION_S} seeds=1..={}\",\n    \"hash\": \"chain_step (SHA-256 truncated to 128 bits)\"\n  }},\n",
         SWEEP_SEEDS.len()
     ));
     // Keep blocks in before/after order regardless of write order.
@@ -315,14 +444,30 @@ fn main() {
         let speedup = |field: &str| -> Option<f64> {
             Some(extract_number(a, field)? / extract_number(b, field)?)
         };
-        if let (Some(sb), Some(sr), Some(sh)) = (
-            speedup("bps_per_sec"),
-            speedup("runs_per_sec"),
-            speedup("hashes_per_sec"),
-        ) {
-            body.push_str(&format!(
-                "  \"speedup\": {{\n    \"bps\": {sb:.3},\n    \"runs\": {sr:.3},\n    \"hashes\": {sh:.3}\n  }},\n"
-            ));
+        // Emit whichever ratios both blocks carry (older blocks lack the
+        // large-n fields).
+        let mut pairs: Vec<(String, f64)> = Vec::new();
+        for (name, field) in [
+            ("bps", "bps_per_sec".to_string()),
+            ("runs", "runs_per_sec".to_string()),
+            ("hashes", "hashes_per_sec".to_string()),
+        ] {
+            if let Some(s) = speedup(&field) {
+                pairs.push((name.to_string(), s));
+            }
+        }
+        for &(n, _) in &LARGE_POINTS {
+            if let Some(s) = speedup(&format!("large_n{n}_bps_per_sec")) {
+                pairs.push((format!("large_n{n}_bps"), s));
+            }
+        }
+        if !pairs.is_empty() {
+            body.push_str("  \"speedup\": {\n");
+            for (i, (name, s)) in pairs.iter().enumerate() {
+                let sep = if i + 1 == pairs.len() { "" } else { "," };
+                body.push_str(&format!("    \"{name}\": {s:.3}{sep}\n"));
+            }
+            body.push_str("  },\n");
         }
     }
     // Trim the trailing comma and close.

@@ -22,6 +22,7 @@
 use crate::instrument::{
     BpView, DeliveryCtx, DeliveryFate, DeliveryObs, EngineHook, FaultAction, NodeSnapshot, NoopHook,
 };
+use crate::kernel::{BpTimeline, NodeSoa};
 use crate::scenario::{ProtocolKind, ScenarioConfig, TopologySpec};
 use attacks::{AttackWindow, FastBeaconAttacker};
 use clocks::Oscillator;
@@ -110,6 +111,11 @@ struct Scratch {
     reached: Vec<bool>,
     /// Clocks of honest synchronized present stations, sampled at BP end.
     clocks: Vec<f64>,
+    /// Fast path: receiver ids of the current window, in id order.
+    rx_ids: Vec<u32>,
+    /// Fast path: batched per-receiver delivery verdicts (parallel to
+    /// `rx_ids`).
+    rx_fates: Vec<Delivery>,
 }
 
 impl Scratch {
@@ -120,6 +126,8 @@ impl Scratch {
             payloads: vec![None; n],
             reached: vec![false; n],
             clocks: Vec::with_capacity(n),
+            rx_ids: Vec::with_capacity(n),
+            rx_fates: Vec::with_capacity(n),
         }
     }
 }
@@ -340,6 +348,18 @@ impl Network {
             .collect();
         let ref_absence_bps = (self.scenario.ref_absence_s * 1e6 / pcfg.bp_us).round() as u64;
 
+        // Quiescent-BP timeline: which BPs have *any* scheduled scenario
+        // event (churn/reference departure, jam window, attacker window).
+        // The fast path skips the per-BP event scans on quiet BPs.
+        let windows_s: Vec<(f64, f64)> = self
+            .scenario
+            .jam_windows
+            .iter()
+            .map(|w| (w.start_s, w.end_s))
+            .chain(self.scenario.attacker.map(|a| (a.start_s, a.end_s)))
+            .collect();
+        let timeline = BpTimeline::build(total_bps, bp, &churn_bps, &ref_leave_bps, &windows_s);
+
         // (bp index, station) pairs due to rejoin.
         let mut returns: Vec<(u64, u32)> = Vec::new();
 
@@ -382,11 +402,41 @@ impl Network {
         let mut chan_rng = CountingRng::new(chan_rng);
         let mut jitter_rng = CountingRng::new(jitter_rng);
 
-        // Node initiation (hash-chain generation + anchor publication).
+        // The large-n fast path (dense SoA node state, cached static
+        // intents, batched delivery draws, quiescent-BP scan skipping) is
+        // bit-identical to the plain loop by construction; it stays off
+        // when a hook is attached (hooks observe per-delivery state the
+        // slim loop does not compute) and in multi-hop mode, and can be
+        // forced off for cross-checking with SSTSP_NO_FASTPATH=1.
+        let fastpath = !active
+            && topology.is_none()
+            && std::env::var("SSTSP_NO_FASTPATH").map_or(true, |v| v != "1");
+        let mut soa = NodeSoa::new(scenario.n_nodes as usize);
+
+        // Coarse per-phase wall-clock accounting for the BP loop, emitted
+        // at run end through the structured log (`engine.prof`, info level
+        // — so `SSTSP_PROF=1 SSTSP_LOG=info`). Off, it costs one branch
+        // per phase boundary per BP.
+        let prof = std::env::var("SSTSP_PROF").is_ok();
+        let mut prof_ns = [0u128; 6];
+
+        // Node initiation (seed draw + deferred anchor registration).
+        let t_init = std::time::Instant::now();
         for id in 0..scenario.n_nodes {
             let local = oscs[id as usize].local_us(SimTime::ZERO);
             let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
             nodes[id as usize].init(&mut ctx);
+            if fastpath {
+                soa.refresh(id as usize, &*nodes[id as usize], &pcfg);
+            }
+        }
+        if prof {
+            telemetry::log::info("engine.prof", || {
+                format!(
+                    "prof      init: {:8.3} ms",
+                    t_init.elapsed().as_secs_f64() * 1e3
+                )
+            });
         }
         hook.on_run_start(&scenario, &anchors);
 
@@ -415,6 +465,16 @@ impl Network {
         sim.run(|sim, ev| {
             let k: u64 = ev.payload;
             let t0 = ev.time;
+            let mut prof_t = prof.then(std::time::Instant::now);
+            macro_rules! lap {
+                ($i:expr) => {
+                    if let Some(t) = prof_t.as_mut() {
+                        let n = std::time::Instant::now();
+                        prof_ns[$i] += n.duration_since(*t).as_nanos();
+                        *t = n;
+                    }
+                };
+            }
 
             // Anything that perturbs the network this BP (churn, departures,
             // jamming, attacker activity, fault injections, reference
@@ -426,113 +486,130 @@ impl Network {
                 hook.on_bp_start(k, t0, &mut fault_actions);
             }
 
-            // --- Churn & reference departures -------------------------
-            returns.retain(|&(due, id)| {
-                if due == k {
-                    present[id as usize] = true;
-                    let local = oscs[id as usize].local_us(t0);
-                    let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
-                    nodes[id as usize].on_join(&mut ctx);
-                    disturbed = true;
-                    false
-                } else {
-                    true
+            // Quiescent-BP skip-ahead: nothing is scheduled this BP (no
+            // churn or reference departure, no jam or attack window, no
+            // rejoin due) and no hook can inject faults, so the event
+            // scans below would all no-op. Skip straight to the beacon
+            // window; the only state they could have touched is the
+            // jammer flag, which a quiet BP always leaves released.
+            let quiet =
+                fastpath && !timeline.interesting(k) && returns.iter().all(|&(due, _)| due != k);
+            if quiet {
+                channel.set_jammed(false);
+            } else {
+                // --- Churn & reference departures -------------------------
+                returns.retain(|&(due, id)| {
+                    if due == k {
+                        present[id as usize] = true;
+                        let local = oscs[id as usize].local_us(t0);
+                        let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
+                        nodes[id as usize].on_join(&mut ctx);
+                        if fastpath {
+                            soa.refresh(id as usize, &*nodes[id as usize], &pcfg);
+                        }
+                        disturbed = true;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if churn_bps.contains(&k) {
+                    let churn = scenario.churn.expect("churn configured");
+                    let candidates: Vec<u32> = (0..scenario.n_nodes)
+                        .filter(|&id| {
+                            present[id as usize]
+                                && honest[id as usize]
+                                && !nodes[id as usize].is_reference()
+                        })
+                        .collect();
+                    let quota = ((scenario.n_nodes as f64 * churn.fraction).round() as usize)
+                        .min(candidates.len());
+                    // Deterministic partial Fisher-Yates from the scenario stream.
+                    let mut pool = candidates;
+                    for pick in 0..quota {
+                        let j = scenario_rng.random_range(pick..pool.len());
+                        pool.swap(pick, j);
+                        let id = pool[pick];
+                        present[id as usize] = false;
+                        let local = oscs[id as usize].local_us(t0);
+                        let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
+                        nodes[id as usize].on_leave(&mut ctx);
+                        returns.push((k + churn_absence_bps, id));
+                    }
+                    disturbed |= quota > 0;
                 }
-            });
-            if churn_bps.contains(&k) {
-                let churn = scenario.churn.expect("churn configured");
-                let candidates: Vec<u32> = (0..scenario.n_nodes)
-                    .filter(|&id| {
-                        present[id as usize]
-                            && honest[id as usize]
-                            && !nodes[id as usize].is_reference()
-                    })
-                    .collect();
-                let quota = ((scenario.n_nodes as f64 * churn.fraction).round() as usize)
-                    .min(candidates.len());
-                // Deterministic partial Fisher-Yates from the scenario stream.
-                let mut pool = candidates;
-                for pick in 0..quota {
-                    let j = scenario_rng.random_range(pick..pool.len());
-                    pool.swap(pick, j);
-                    let id = pool[pick];
-                    present[id as usize] = false;
-                    let local = oscs[id as usize].local_us(t0);
-                    let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
-                    nodes[id as usize].on_leave(&mut ctx);
-                    returns.push((k + churn_absence_bps, id));
+                if ref_leave_bps.contains(&k) {
+                    if let Some(id) = (0..scenario.n_nodes)
+                        .find(|&id| present[id as usize] && nodes[id as usize].is_reference())
+                    {
+                        present[id as usize] = false;
+                        let local = oscs[id as usize].local_us(t0);
+                        let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
+                        nodes[id as usize].on_leave(&mut ctx);
+                        returns.push((k + ref_absence_bps, id));
+                        disturbed = true;
+                    }
                 }
-                disturbed |= quota > 0;
-            }
-            if ref_leave_bps.contains(&k) {
-                if let Some(id) = (0..scenario.n_nodes)
-                    .find(|&id| present[id as usize] && nodes[id as usize].is_reference())
-                {
-                    present[id as usize] = false;
-                    let local = oscs[id as usize].local_us(t0);
-                    let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
-                    nodes[id as usize].on_leave(&mut ctx);
-                    returns.push((k + ref_absence_bps, id));
-                    disturbed = true;
-                }
-            }
 
-            // --- Fault injection --------------------------------------
-            // Applied after churn so a fault plan targeting the reference
-            // sees the network exactly as the scenario left it this BP.
-            for &action in fault_actions.iter() {
-                disturbed = true;
-                match action {
-                    FaultAction::Crash {
-                        node,
-                        rejoin_after_bps,
-                    } => {
-                        if present[node as usize] {
-                            present[node as usize] = false;
-                            let local = oscs[node as usize].local_us(t0);
-                            let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, node, local);
-                            nodes[node as usize].on_leave(&mut ctx);
-                            if let Some(r) = rejoin_after_bps {
-                                returns.push((k + r.max(1), node));
+                // --- Fault injection --------------------------------------
+                // Applied after churn so a fault plan targeting the reference
+                // sees the network exactly as the scenario left it this BP.
+                for &action in fault_actions.iter() {
+                    disturbed = true;
+                    match action {
+                        FaultAction::Crash {
+                            node,
+                            rejoin_after_bps,
+                        } => {
+                            if present[node as usize] {
+                                present[node as usize] = false;
+                                let local = oscs[node as usize].local_us(t0);
+                                let mut ctx =
+                                    node_ctx!(proto_rngs, &mut anchors, &pcfg, node, local);
+                                nodes[node as usize].on_leave(&mut ctx);
+                                if let Some(r) = rejoin_after_bps {
+                                    returns.push((k + r.max(1), node));
+                                }
                             }
                         }
-                    }
-                    FaultAction::KillReference { rejoin_after_bps } => {
-                        if let Some(id) = (0..scenario.n_nodes)
-                            .find(|&id| present[id as usize] && nodes[id as usize].is_reference())
-                        {
-                            present[id as usize] = false;
-                            let local = oscs[id as usize].local_us(t0);
-                            let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
-                            nodes[id as usize].on_leave(&mut ctx);
-                            if let Some(r) = rejoin_after_bps {
-                                returns.push((k + r.max(1), id));
+                        FaultAction::KillReference { rejoin_after_bps } => {
+                            if let Some(id) = (0..scenario.n_nodes).find(|&id| {
+                                present[id as usize] && nodes[id as usize].is_reference()
+                            }) {
+                                present[id as usize] = false;
+                                let local = oscs[id as usize].local_us(t0);
+                                let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
+                                nodes[id as usize].on_leave(&mut ctx);
+                                if let Some(r) = rejoin_after_bps {
+                                    returns.push((k + r.max(1), id));
+                                }
                             }
                         }
+                        FaultAction::ClockStep { node, delta_us } => {
+                            oscs[node as usize].step_by(delta_us)
+                        }
+                        FaultAction::ClockFreeze { node } => oscs[node as usize].freeze(t0),
+                        FaultAction::ClockUnfreeze { node } => oscs[node as usize].unfreeze(t0),
+                        FaultAction::SetBurstLoss(p) => channel.set_burst_loss(p),
+                        FaultAction::SetJammed(on) => fault_jam = on,
                     }
-                    FaultAction::ClockStep { node, delta_us } => {
-                        oscs[node as usize].step_by(delta_us)
-                    }
-                    FaultAction::ClockFreeze { node } => oscs[node as usize].freeze(t0),
-                    FaultAction::ClockUnfreeze { node } => oscs[node as usize].unfreeze(t0),
-                    FaultAction::SetBurstLoss(p) => channel.set_burst_loss(p),
-                    FaultAction::SetJammed(on) => fault_jam = on,
                 }
-            }
 
-            // --- Jamming ----------------------------------------------
-            let t_secs = t0.as_secs_f64();
-            channel.set_jammed(
-                fault_jam
-                    || scenario
-                        .jam_windows
-                        .iter()
-                        .any(|w| t_secs >= w.start_s && t_secs < w.end_s),
-            );
-            disturbed |= channel.is_jammed();
-            if let Some(a) = scenario.attacker {
-                disturbed |= t_secs >= a.start_s && t_secs < a.end_s;
-            }
+                // --- Jamming ----------------------------------------------
+                let t_secs = t0.as_secs_f64();
+                channel.set_jammed(
+                    fault_jam
+                        || scenario
+                            .jam_windows
+                            .iter()
+                            .any(|w| t_secs >= w.start_s && t_secs < w.end_s),
+                );
+                disturbed |= channel.is_jammed();
+                if let Some(a) = scenario.attacker {
+                    disturbed |= t_secs >= a.start_s && t_secs < a.end_s;
+                }
+            } // end of the non-quiet event scans
+            lap!(0);
 
             // --- Beacon generation window -----------------------------
             match &topology {
@@ -545,9 +622,37 @@ impl Network {
                         if !present[id as usize] {
                             continue;
                         }
-                        let local = oscs[id as usize].local_us(t0);
-                        let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
-                        match nodes[id as usize].intent(&mut ctx) {
+                        // Fast path: serve the intent from the SoA cache
+                        // when the protocol predicted it. A cached intent
+                        // is one the real call would return without
+                        // consuming randomness, so skipping the call (and
+                        // the oscillator read feeding its context) leaves
+                        // every RNG stream untouched.
+                        let intent = match soa.static_intent(id as usize).filter(|_| fastpath) {
+                            Some(si) => {
+                                #[cfg(debug_assertions)]
+                                {
+                                    let pos = proto_rngs[id as usize].stream_pos();
+                                    let local = oscs[id as usize].local_us(t0);
+                                    let mut ctx =
+                                        node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
+                                    let real = nodes[id as usize].intent(&mut ctx);
+                                    assert_eq!(real, si, "static intent diverged for node {id}");
+                                    assert_eq!(
+                                        proto_rngs[id as usize].stream_pos(),
+                                        pos,
+                                        "static intent consumed randomness for node {id}"
+                                    );
+                                }
+                                si
+                            }
+                            None => {
+                                let local = oscs[id as usize].local_us(t0);
+                                let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
+                                nodes[id as usize].intent(&mut ctx)
+                            }
+                        };
+                        match intent {
                             BeaconIntent::Silent => {}
                             // Relaying is pointless when everyone already
                             // hears the reference directly.
@@ -562,6 +667,7 @@ impl Network {
                         }
                     }
 
+                    lap!(1);
                     match channel.resolve_window(attempts) {
                         WindowOutcome::Silent => {
                             silent_windows += 1;
@@ -609,74 +715,123 @@ impl Network {
                             }
                             let airtime = phy.beacon_airtime(beacon.is_secured());
                             let t_rx = t_tx + airtime + phy.propagation();
-                            for id in 0..scenario.n_nodes {
-                                if id == winner || !present[id as usize] {
-                                    continue;
+                            if fastpath {
+                                // Batched-draw receiver path: collect the
+                                // receiver set, take every channel-error
+                                // draw in one pass (identical stream
+                                // consumption — the jitter draws live on a
+                                // separate stream, so splitting the loop
+                                // cannot reorder either), then process the
+                                // survivors branch-lean: no hook checks,
+                                // no per-delivery observer state.
+                                let rx_ids = &mut scratch.rx_ids;
+                                rx_ids.clear();
+                                for id in 0..scenario.n_nodes {
+                                    if id != winner && present[id as usize] {
+                                        rx_ids.push(id);
+                                    }
                                 }
-                                bp_counters.rx_attempt += 1;
-                                if channel.deliver(&mut chan_rng) == Delivery::Lost {
-                                    bp_counters.rx_lost += 1;
-                                    continue;
-                                }
-                                // Each receiver processes its own copy: a
-                                // corruption fault at one receiver models
-                                // that receiver's demodulation errors, not
-                                // a change to the transmitted frame.
-                                let mut payload = beacon;
-                                let dctx = DeliveryCtx {
-                                    bp: k,
-                                    src: winner,
-                                    dst: id,
-                                    t_rx,
-                                };
-                                if active
-                                    && hook.on_delivery(&dctx, &mut payload) == DeliveryFate::Drop
-                                {
-                                    bp_counters.rx_hook_dropped += 1;
-                                    continue;
-                                }
-                                bp_counters.rx_delivered += 1;
-                                // Receiver-side timestamping noise: each
-                                // station stamps the arrival with its own
-                                // hardware path, contributing (with the
-                                // sender-side jitter) the paper's receiver
-                                // estimation error ε.
-                                let rx_jitter =
-                                    jitter_rng.random_range(0.0..=scenario.timestamp_jitter_us);
-                                let local_rx = oscs[id as usize].local_us(t_rx) + rx_jitter;
-                                let (clock_before, ref_before, stats_before) = if active {
-                                    (
-                                        nodes[id as usize].clock_us(local_rx),
-                                        nodes[id as usize].current_reference(),
-                                        nodes[id as usize].sstsp_stats(),
-                                    )
-                                } else {
-                                    (0.0, None, None)
-                                };
-                                {
+                                bp_counters.rx_attempt += rx_ids.len() as u64;
+                                channel.deliver_batch(
+                                    &mut chan_rng,
+                                    rx_ids.len(),
+                                    &mut scratch.rx_fates,
+                                );
+                                for (&id, &fate) in rx_ids.iter().zip(scratch.rx_fates.iter()) {
+                                    if fate == Delivery::Lost {
+                                        bp_counters.rx_lost += 1;
+                                        continue;
+                                    }
+                                    bp_counters.rx_delivered += 1;
+                                    let rx_jitter =
+                                        jitter_rng.random_range(0.0..=scenario.timestamp_jitter_us);
+                                    let local_rx = oscs[id as usize].local_us(t_rx) + rx_jitter;
                                     let mut ctx =
                                         node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local_rx);
                                     nodes[id as usize].on_beacon(
                                         &mut ctx,
                                         ReceivedBeacon {
-                                            payload,
+                                            payload: beacon,
                                             local_rx_us: local_rx,
                                         },
                                     );
                                 }
-                                if active {
-                                    hook.post_delivery(&DeliveryObs {
-                                        ctx: dctx,
-                                        payload: &payload,
-                                        local_rx_us: local_rx,
-                                        clock_before_us: clock_before,
-                                        ref_before,
-                                        stats_before,
-                                        stats_after: nodes[id as usize].sstsp_stats(),
-                                        anchors: &anchors,
-                                    });
+                            } else {
+                                for id in 0..scenario.n_nodes {
+                                    if id == winner || !present[id as usize] {
+                                        continue;
+                                    }
+                                    bp_counters.rx_attempt += 1;
+                                    if channel.deliver(&mut chan_rng) == Delivery::Lost {
+                                        bp_counters.rx_lost += 1;
+                                        continue;
+                                    }
+                                    // Each receiver processes its own copy: a
+                                    // corruption fault at one receiver models
+                                    // that receiver's demodulation errors, not
+                                    // a change to the transmitted frame.
+                                    let mut payload = beacon;
+                                    let dctx = DeliveryCtx {
+                                        bp: k,
+                                        src: winner,
+                                        dst: id,
+                                        t_rx,
+                                    };
+                                    if active
+                                        && hook.on_delivery(&dctx, &mut payload)
+                                            == DeliveryFate::Drop
+                                    {
+                                        bp_counters.rx_hook_dropped += 1;
+                                        continue;
+                                    }
+                                    bp_counters.rx_delivered += 1;
+                                    // Receiver-side timestamping noise: each
+                                    // station stamps the arrival with its own
+                                    // hardware path, contributing (with the
+                                    // sender-side jitter) the paper's receiver
+                                    // estimation error ε.
+                                    let rx_jitter =
+                                        jitter_rng.random_range(0.0..=scenario.timestamp_jitter_us);
+                                    let local_rx = oscs[id as usize].local_us(t_rx) + rx_jitter;
+                                    let (clock_before, ref_before, stats_before) = if active {
+                                        (
+                                            nodes[id as usize].clock_us(local_rx),
+                                            nodes[id as usize].current_reference(),
+                                            nodes[id as usize].sstsp_stats(),
+                                        )
+                                    } else {
+                                        (0.0, None, None)
+                                    };
+                                    {
+                                        let mut ctx = node_ctx!(
+                                            proto_rngs,
+                                            &mut anchors,
+                                            &pcfg,
+                                            id,
+                                            local_rx
+                                        );
+                                        nodes[id as usize].on_beacon(
+                                            &mut ctx,
+                                            ReceivedBeacon {
+                                                payload,
+                                                local_rx_us: local_rx,
+                                            },
+                                        );
+                                    }
+                                    if active {
+                                        hook.post_delivery(&DeliveryObs {
+                                            ctx: dctx,
+                                            payload: &payload,
+                                            local_rx_us: local_rx,
+                                            clock_before_us: clock_before,
+                                            ref_before,
+                                            stats_before,
+                                            stats_after: nodes[id as usize].sstsp_stats(),
+                                            anchors: &anchors,
+                                        });
+                                    }
                                 }
-                            }
+                            } // end of the plain (hook-capable) receiver loop
                         }
                     }
                 }
@@ -843,25 +998,57 @@ impl Network {
             }
 
             // --- End of BP --------------------------------------------
+            lap!(2);
             let t_end = t0 + bp - SimDuration::from_us(1);
-            for id in 0..scenario.n_nodes {
-                if !present[id as usize] {
-                    continue;
+            scratch.clocks.clear();
+            if fastpath {
+                // Fused sweep: the final callback of the BP, the SoA
+                // snapshot, and the spread-metric clock read share one
+                // pass (and one oscillator evaluation per node). The
+                // snapshot keeps the SoA exact for this BP's metric read
+                // and the next BP's intent scan; any interim mutation —
+                // join, leave — refreshes at its own site.
+                for id in 0..scenario.n_nodes {
+                    let i = id as usize;
+                    if !present[i] {
+                        continue;
+                    }
+                    let local = oscs[i].local_us(t_end);
+                    let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
+                    nodes[i].on_bp_end(&mut ctx);
+                    soa.refresh(i, &*nodes[i], &pcfg);
+                    if honest[i] && soa.synchronized(i) {
+                        let c = soa
+                            .clock_us(i, local)
+                            .unwrap_or_else(|| nodes[i].clock_us(local));
+                        debug_assert_eq!(
+                            c.to_bits(),
+                            nodes[i].clock_us(local).to_bits(),
+                            "SoA affine clock diverged for node {i}"
+                        );
+                        scratch.clocks.push(c);
+                    }
                 }
-                let local = oscs[id as usize].local_us(t_end);
-                let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
-                nodes[id as usize].on_bp_end(&mut ctx);
+            } else {
+                for id in 0..scenario.n_nodes {
+                    if !present[id as usize] {
+                        continue;
+                    }
+                    let local = oscs[id as usize].local_us(t_end);
+                    let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
+                    nodes[id as usize].on_bp_end(&mut ctx);
+                }
+                for i in 0..scenario.n_nodes as usize {
+                    if present[i] && honest[i] && nodes[i].is_synchronized() {
+                        scratch
+                            .clocks
+                            .push(nodes[i].clock_us(oscs[i].local_us(t_end)));
+                    }
+                }
             }
 
             // --- Metrics ----------------------------------------------
-            scratch.clocks.clear();
-            for i in 0..scenario.n_nodes as usize {
-                if present[i] && honest[i] && nodes[i].is_synchronized() {
-                    scratch
-                        .clocks
-                        .push(nodes[i].clock_us(oscs[i].local_us(t_end)));
-                }
-            }
+            lap!(3);
             tracker.sample(t_end, &scratch.clocks);
             bp_counters.flush();
             if telemetry::enabled() {
@@ -870,8 +1057,14 @@ impl Network {
                 }
             }
 
-            let current_ref = (0..scenario.n_nodes)
-                .find(|&id| present[id as usize] && nodes[id as usize].is_reference());
+            lap!(4);
+            let current_ref = if fastpath {
+                (0..scenario.n_nodes)
+                    .find(|&id| present[id as usize] && soa.is_reference(id as usize))
+            } else {
+                (0..scenario.n_nodes)
+                    .find(|&id| present[id as usize] && nodes[id as usize].is_reference())
+            };
             if current_ref != last_reference {
                 if current_ref.is_some() {
                     reference_changes += 1;
@@ -887,7 +1080,13 @@ impl Network {
                 // the honest stations follow its beacons.
                 let followers = (0..scenario.n_nodes as usize)
                     .filter(|&i| {
-                        present[i] && honest[i] && nodes[i].current_reference() == Some(atk)
+                        present[i]
+                            && honest[i]
+                            && if fastpath {
+                                soa.current_reference(i) == Some(atk)
+                            } else {
+                                nodes[i].current_reference() == Some(atk)
+                            }
                     })
                     .count();
                 let honest_present = (0..scenario.n_nodes as usize)
@@ -920,11 +1119,26 @@ impl Network {
                 });
             }
 
+            lap!(5);
             if k < total_bps {
                 sim.schedule_at(t0 + bp, k + 1);
             }
             SimControl::Continue
         });
+
+        if prof {
+            let names = ["events", "intent", "window+rx", "bp_end", "metrics", "tail"];
+            let per_bp_node = 1e0 / (total_bps as f64 * scenario.n_nodes as f64);
+            for (name, ns) in names.iter().zip(prof_ns.iter()) {
+                telemetry::log::info("engine.prof", || {
+                    format!(
+                        "prof {name:>9}: {:8.3} ms  {:6.1} ns/node/bp",
+                        *ns as f64 / 1e6,
+                        *ns as f64 * per_bp_node
+                    )
+                });
+            }
+        }
 
         // Run-level simcore telemetry: event-loop pressure and RNG
         // consumption. Gauges high-water across a sweep; counters sum.

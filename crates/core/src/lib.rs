@@ -14,6 +14,9 @@
 //! * [`invariants`] — the protocol invariant checker evaluated every beacon
 //!   period (clock monotonicity, guard influence bound, µTESLA key
 //!   freshness, synced-set spread bound);
+//! * [`kernel`] — the large-n fast-path kernel: dense structure-of-arrays
+//!   node state and the quiescent-BP timeline (bit-identical to the plain
+//!   loop; disable with `SSTSP_NO_FASTPATH=1`);
 //! * [`experiments`] — one module per table/figure of the paper, each
 //!   producing the exact rows/series the paper reports;
 //! * [`sweep`] — rayon-parallel seed and parameter sweeps (deterministic
@@ -40,6 +43,7 @@ pub mod engine;
 pub mod experiments;
 pub mod instrument;
 pub mod invariants;
+pub mod kernel;
 pub mod report;
 pub mod scenario;
 pub mod sweep;

@@ -52,9 +52,13 @@ impl FractalTraverser {
     /// Panics if `n == 0`.
     pub fn new(seed: ChainElement, n: usize) -> Self {
         assert!(n > 0, "chain length must be positive");
+        // Pebble count stays within log2(n) + 2 for the lifetime of the
+        // traverser (see `pebble_count_stays_logarithmic`); reserving that
+        // up front keeps `insert_pebble` reallocation-free in steady state.
+        let cap = usize::BITS as usize - n.leading_zeros() as usize + 2;
         let mut t = FractalTraverser {
             seed,
-            pebbles: Vec::new(),
+            pebbles: Vec::with_capacity(cap),
             next_pos: Some(n - 1),
             hash_count: 0,
         };
@@ -132,29 +136,22 @@ impl FractalTraverser {
             return value;
         }
         // Walk forward, dropping pebbles at binary midpoints of the gap
-        // [cur_pos, pos] so future backward steps stay cheap.
-        let mut drop_at: Vec<usize> = Vec::new();
-        let mut lo = cur_pos;
-        loop {
-            let gap = pos - lo;
-            if gap <= 1 {
-                break;
-            }
-            let mid = lo + gap / 2;
-            drop_at.push(mid);
-            lo = mid;
-        }
-        let mut drop_iter = drop_at.into_iter().peekable();
+        // [cur_pos, pos] so future backward steps stay cheap. The
+        // midpoints ascend, so they are produced on the fly as the walk
+        // reaches them — no scratch list, keeping this path heap-free
+        // (the per-disclosure cost a signer pays every beacon).
+        let next_mid = |lo: usize| (pos - lo > 1).then(|| lo + (pos - lo) / 2);
+        let mut pending_mid = next_mid(cur_pos);
         while cur_pos < pos {
             value = chain_step(&value);
             self.hash_count += 1;
             cur_pos += 1;
-            if drop_iter.peek() == Some(&cur_pos) {
-                drop_iter.next();
+            if pending_mid == Some(cur_pos) {
                 self.insert_pebble(Pebble {
                     pos: cur_pos,
                     value,
                 });
+                pending_mid = next_mid(cur_pos);
             }
         }
         value

@@ -39,6 +39,7 @@ pub use chain::{verify_distance, ChainElement, HashChain, CHAIN_ELEMENT_LEN};
 pub use fractal::FractalTraverser;
 pub use hmac::{hmac_sha256, Mac128};
 pub use mu_tesla::{
-    sign_with_chain, BeaconAuth, IntervalSchedule, MuTeslaSigner, MuTeslaVerifier, VerifyError,
+    sign_with_chain, BeaconAuth, IntervalSchedule, MuTeslaSigner, MuTeslaVerifier, PayloadBuf,
+    VerifyError,
 };
 pub use sha256::{sha256, Sha256};

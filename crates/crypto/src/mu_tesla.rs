@@ -18,11 +18,12 @@
 //! synchronization so a receiver can tell which interval it is in — is what
 //! SSTSP's coarse synchronization phase provides.
 
-use crate::chain::{chain_step_n, ChainElement, HashChain};
+use crate::chain::{chain_step_n, ChainElement, HashChain, CHAIN_ELEMENT_LEN};
 use crate::fractal::FractalTraverser;
 use crate::hmac::{hmac_sha256_128, mac_eq, Mac128};
 use serde::{Deserialize, Serialize};
 use sstsp_telemetry as telemetry;
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 /// Test-only mutation hooks (compiled under the `mutation-hooks` feature,
@@ -108,14 +109,58 @@ pub struct BeaconAuth {
     pub disclosed: ChainElement,
 }
 
+/// Stack-buffer size for beacon-sized MAC inputs (payload + 4-byte index).
+const MAC_STACK: usize = 60;
+
+/// Single-entry memo for [`mac_beacon`] over beacon-sized inputs. Every
+/// receiver of a broadcast beacon recomputes the *same* HMAC over the same
+/// `(key, payload, interval)` triple — n−1 identical calls per released
+/// beacon. The function is pure, so the cached MAC is bit-identical to a
+/// recompute; thread-local storage keeps parallel sweeps race-free.
+#[derive(Clone, Copy)]
+struct MacMemo {
+    key: ChainElement,
+    len: usize,
+    payload: [u8; MAC_STACK - 4],
+    interval: u32,
+    mac: Mac128,
+}
+
+thread_local! {
+    static MAC_MEMO: Cell<Option<MacMemo>> = const { Cell::new(None) };
+}
+
 /// `HMAC_key(B, j)`: the MAC input is the payload followed by the
 /// little-endian interval index, per the paper's `(B, j)`. Beacon-sized
 /// payloads are assembled on the stack so the per-beacon hot path does not
-/// allocate.
+/// allocate, and memoized so the per-receiver fan-out pays the HMAC once.
 fn mac_beacon(key: &[u8], payload: &[u8], interval: u32) -> Mac128 {
-    const STACK: usize = 60;
-    if payload.len() <= STACK - 4 {
-        let mut msg = [0u8; STACK];
+    if key.len() == CHAIN_ELEMENT_LEN && payload.len() <= MAC_STACK - 4 {
+        if let Some(m) = MAC_MEMO.get() {
+            if m.interval == interval
+                && m.len == payload.len()
+                && m.key[..] == *key
+                && m.payload[..m.len] == *payload
+            {
+                return m.mac;
+            }
+        }
+        let mut msg = [0u8; MAC_STACK];
+        msg[..payload.len()].copy_from_slice(payload);
+        msg[payload.len()..payload.len() + 4].copy_from_slice(&interval.to_le_bytes());
+        let mac = hmac_sha256_128(key, &msg[..payload.len() + 4]);
+        let mut entry = MacMemo {
+            key: key.try_into().expect("length checked"),
+            len: payload.len(),
+            payload: [0u8; MAC_STACK - 4],
+            interval,
+            mac,
+        };
+        entry.payload[..payload.len()].copy_from_slice(payload);
+        MAC_MEMO.set(Some(entry));
+        mac
+    } else if payload.len() <= MAC_STACK - 4 {
+        let mut msg = [0u8; MAC_STACK];
         msg[..payload.len()].copy_from_slice(payload);
         msg[payload.len()..payload.len() + 4].copy_from_slice(&interval.to_le_bytes());
         hmac_sha256_128(key, &msg[..payload.len() + 4])
@@ -295,13 +340,94 @@ pub enum VerifyError {
     PreviousBeaconForged,
 }
 
+/// Inline capacity of [`PayloadBuf`]. Beacon auth bytes are 32, so every
+/// payload the engine buffers stays inline; larger payloads spill to the
+/// heap transparently.
+const PAYLOAD_INLINE: usize = 64;
+
+/// A beacon payload, held inline when beacon-sized. The verifier buffers
+/// one payload per observed beacon — with an inline buffer that buffering
+/// is heap-allocation-free on the engine's per-delivery hot path.
+#[derive(Clone)]
+pub struct PayloadBuf(PayloadRepr);
+
+#[derive(Clone)]
+enum PayloadRepr {
+    Inline { len: u8, buf: [u8; PAYLOAD_INLINE] },
+    Heap(Vec<u8>),
+}
+
+impl PayloadBuf {
+    /// View the payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            PayloadRepr::Inline { len, buf } => &buf[..*len as usize],
+            PayloadRepr::Heap(v) => v,
+        }
+    }
+}
+
+impl From<&[u8]> for PayloadBuf {
+    fn from(bytes: &[u8]) -> Self {
+        if bytes.len() <= PAYLOAD_INLINE {
+            let mut buf = [0u8; PAYLOAD_INLINE];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            PayloadBuf(PayloadRepr::Inline {
+                len: bytes.len() as u8,
+                buf,
+            })
+        } else {
+            PayloadBuf(PayloadRepr::Heap(bytes.to_vec()))
+        }
+    }
+}
+
+impl From<Vec<u8>> for PayloadBuf {
+    fn from(bytes: Vec<u8>) -> Self {
+        PayloadBuf::from(bytes.as_slice())
+    }
+}
+
+impl std::ops::Deref for PayloadBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for PayloadBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PayloadBuf {}
+
+impl PartialEq<Vec<u8>> for PayloadBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<&[u8]> for PayloadBuf {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl std::fmt::Debug for PayloadBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("PayloadBuf").field(&self.as_slice()).finish()
+    }
+}
+
 /// A beacon whose authenticity has been established.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuthenticatedBeacon {
     /// The interval the beacon was sent in.
     pub interval: u32,
     /// The beacon payload.
-    pub payload: Vec<u8>,
+    pub payload: PayloadBuf,
 }
 
 /// Receiver side: verifies disclosed keys against the anchor and
@@ -313,8 +439,10 @@ pub struct MuTeslaVerifier {
     /// the key of interval `j` is `h^{n-j}`. Caching it reduces disclosed-key
     /// verification to a handful of hash applications.
     cached_key: Option<(u32, ChainElement)>,
-    /// Beacon received in the previous interval, awaiting its key.
-    pending: Option<(u32, Vec<u8>, Mac128)>,
+    /// Beacon received in the previous interval, awaiting its key. The
+    /// payload is stored inline ([`PayloadBuf`]) so buffering does not
+    /// allocate on the per-delivery hot path.
+    pending: Option<(u32, PayloadBuf, Mac128)>,
     /// One-way-function invocations spent validating disclosed keys (the
     /// observable that distinguishes the O(Δj) cached path from the O(j)
     /// anchor path — see `warm_path_costs_delta_j_hashes`).
@@ -419,7 +547,7 @@ impl MuTeslaVerifier {
                 } else {
                     // Buffer the fresh beacon before reporting: the forged
                     // previous beacon must not block future progress.
-                    self.pending = Some((auth.interval, payload.to_vec(), auth.mac));
+                    self.pending = Some((auth.interval, PayloadBuf::from(payload), auth.mac));
                     telemetry::counter_add("mutesla.verify.forged_prev", 1);
                     return Err(VerifyError::PreviousBeaconForged);
                 }
@@ -428,7 +556,7 @@ impl MuTeslaVerifier {
             _ => None,
         };
 
-        self.pending = Some((auth.interval, payload.to_vec(), auth.mac));
+        self.pending = Some((auth.interval, PayloadBuf::from(payload), auth.mac));
         telemetry::counter_add("mutesla.verify.ok", 1);
         Ok(released)
     }
@@ -617,7 +745,7 @@ mod tests {
             out,
             Some(AuthenticatedBeacon {
                 interval: 2,
-                payload: b"second".to_vec()
+                payload: b"second".to_vec().into()
             })
         );
     }
@@ -647,7 +775,7 @@ mod tests {
             out,
             Some(AuthenticatedBeacon {
                 interval: 1,
-                payload: p1
+                payload: p1.into()
             }),
             "lost disclosure recovered from a later one"
         );
@@ -661,7 +789,7 @@ mod tests {
             out,
             Some(AuthenticatedBeacon {
                 interval: 5,
-                payload: p5
+                payload: p5.into()
             })
         );
     }
@@ -699,7 +827,7 @@ mod tests {
             out,
             Some(AuthenticatedBeacon {
                 interval: 1,
-                payload: p1
+                payload: p1.into()
             }),
             "beacon 1 authenticated across the corrupted disclosure"
         );

@@ -1,0 +1,161 @@
+//! Fast-path / legacy-path equivalence: every fixed-seed run must be
+//! bit-identical with the engine's SoA fast path enabled (the default) and
+//! disabled (`SSTSP_NO_FASTPATH=1`).
+//!
+//! The fast path serves static intents from the structure-of-arrays
+//! snapshot, draws receiver fates in one batch, and skips event scans on
+//! quiescent BPs — all claimed to be *observationally invisible*. This
+//! test is that claim's enforcement across three surfaces:
+//!
+//! 1. the pinned golden scenario shapes (single-hop, reference-change
+//!    ablation, multi-hop line — where topology disables the fast path and
+//!    the switch must be inert), plus the large-n scenarios the fast path
+//!    exists for;
+//! 2. a bounded batch of fuzzer-generated scenarios (diverse n, duration,
+//!    seed, protocol parameters, shortened chains), each run plain under
+//!    both settings *and* under the fault harness — hooked runs always
+//!    take the legacy path, so there the switch must change nothing at
+//!    all;
+//! 3. telemetry totals: with recording live, both paths must produce the
+//!    identical counter/gauge/distribution snapshot (batched draws consume
+//!    exactly as many RNG draws as per-receiver draws did).
+//!
+//! Everything lives in one `#[test]`: the switch is a process-global
+//! environment variable, so concurrent tests in this binary would race on
+//! it.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use sstsp::scenario::TopologySpec;
+use sstsp::{Network, ProtocolKind, RunResult, ScenarioConfig};
+use sstsp_faults::fuzz::random_case;
+use sstsp_faults::run_case;
+
+/// Run `f` with the fast path forced on (env cleared) or off (env set).
+/// Leaves the variable cleared either way, matching the default.
+fn with_fastpath<T>(enabled: bool, f: impl FnOnce() -> T) -> T {
+    if enabled {
+        std::env::remove_var("SSTSP_NO_FASTPATH");
+    } else {
+        std::env::set_var("SSTSP_NO_FASTPATH", "1");
+    }
+    let out = f();
+    std::env::remove_var("SSTSP_NO_FASTPATH");
+    out
+}
+
+/// Every observable of a run, compared bit-for-bit (floats via `to_bits`;
+/// the full spread series, not just the summary).
+fn assert_identical(fast: &RunResult, slow: &RunResult, name: &str) {
+    assert_eq!(
+        fast.spread.values(),
+        slow.spread.values(),
+        "{name}: spread series"
+    );
+    assert_eq!(
+        fast.peak_spread_us.to_bits(),
+        slow.peak_spread_us.to_bits(),
+        "{name}: peak_spread_us"
+    );
+    assert_eq!(
+        fast.sync_latency_s, slow.sync_latency_s,
+        "{name}: sync_latency_s"
+    );
+    assert_eq!(
+        fast.steady_error_us, slow.steady_error_us,
+        "{name}: steady_error_us"
+    );
+    assert_eq!(fast.tx_successes, slow.tx_successes, "{name}: tx_successes");
+    assert_eq!(
+        fast.tx_collisions, slow.tx_collisions,
+        "{name}: tx_collisions"
+    );
+    assert_eq!(
+        fast.silent_windows, slow.silent_windows,
+        "{name}: silent_windows"
+    );
+    assert_eq!(
+        fast.reference_changes, slow.reference_changes,
+        "{name}: reference_changes"
+    );
+    assert_eq!(
+        fast.guard_rejections, slow.guard_rejections,
+        "{name}: guard_rejections"
+    );
+    assert_eq!(
+        fast.mutesla_rejections, slow.mutesla_rejections,
+        "{name}: mutesla_rejections"
+    );
+    assert_eq!(fast.retargets, slow.retargets, "{name}: retargets");
+    assert_eq!(
+        fast.final_reference, slow.final_reference,
+        "{name}: final_reference"
+    );
+    assert_eq!(fast.hop_profile, slow.hop_profile, "{name}: hop_profile");
+}
+
+fn compare_plain(cfg: &ScenarioConfig, name: &str) {
+    let fast = with_fastpath(true, || Network::build(cfg).run());
+    let slow = with_fastpath(false, || Network::build(cfg).run());
+    assert_identical(&fast, &slow, name);
+}
+
+#[test]
+fn fastpath_and_legacy_runs_are_bit_identical() {
+    // --- 1. Golden scenario shapes + the large-n fast-path regime -----
+    let single_hop = ScenarioConfig::new(ProtocolKind::Sstsp, 8, 12.0, 7);
+    let mut ablation = ScenarioConfig::new(ProtocolKind::Sstsp, 8, 12.0, 7)
+        .with_m(4)
+        .with_l(2);
+    ablation.ref_leaves_s = vec![6.0];
+    let mut multihop = ScenarioConfig::new(ProtocolKind::Sstsp, 12, 12.0, 7)
+        .with_l(3)
+        .with_m(6);
+    multihop.topology = Some(TopologySpec::Line);
+    let large = ScenarioConfig::new(ProtocolKind::Sstsp, 1000, 5.0, 2006);
+
+    compare_plain(&single_hop, "single-hop golden");
+    compare_plain(&ablation, "ablation-refchange golden");
+    compare_plain(&multihop, "multihop-line golden");
+    compare_plain(&large, "large-n 1000");
+
+    // --- 2. Fuzzer-generated scenarios and fault plans ----------------
+    let mut rng = ChaCha12Rng::seed_from_u64(2006);
+    for i in 0..6 {
+        let case = random_case(&mut rng, 4);
+        let scenario = case.scenario();
+        compare_plain(&scenario, &format!("fuzz scenario {i} ({case})"));
+
+        let fast = with_fastpath(true, || run_case(&case));
+        let slow = with_fastpath(false, || run_case(&case));
+        assert_identical(
+            &fast.result,
+            &slow.result,
+            &format!("fuzz case {i} harnessed ({case})"),
+        );
+        assert_eq!(
+            fast.violations.len(),
+            slow.violations.len(),
+            "fuzz case {i}: violation counts"
+        );
+    }
+
+    // --- 3. Telemetry totals ------------------------------------------
+    let cfg = ScenarioConfig::new(ProtocolKind::Sstsp, 100, 20.0, 2006);
+    let snap_for = |enabled: bool| {
+        let _guard = sstsp_telemetry::recording();
+        with_fastpath(enabled, || {
+            std::hint::black_box(Network::build(&cfg).run());
+        });
+        sstsp_telemetry::snapshot()
+    };
+    let fast_snap = snap_for(true);
+    let slow_snap = snap_for(false);
+    assert_eq!(fast_snap.counters, slow_snap.counters, "telemetry counters");
+    assert_eq!(fast_snap.gauges, slow_snap.gauges, "telemetry gauges");
+    assert_eq!(
+        fast_snap.render_text(),
+        slow_snap.render_text(),
+        "telemetry distributions"
+    );
+}

@@ -73,9 +73,18 @@ impl BeaconBody {
 
     /// The bytes the µTESLA HMAC covers: the beacon data without the PHY
     /// preamble (a receiver authenticates the frame, not the radio
-    /// training sequence).
-    pub fn auth_bytes(&self) -> Bytes {
-        self.encode().slice(PREAMBLE_LEN..)
+    /// training sequence). Returned as a stack array — this runs once per
+    /// receiver per beacon, so it must not allocate. Byte-identical to
+    /// `encode()[PREAMBLE_LEN..]`.
+    pub fn auth_bytes(&self) -> [u8; PLAIN_DATA_LEN] {
+        let mut out = [0u8; PLAIN_DATA_LEN];
+        out[..8].copy_from_slice(&self.timestamp_us.to_le_bytes());
+        out[8..12].copy_from_slice(&self.src.to_le_bytes());
+        out[12..16].copy_from_slice(&self.seq.to_le_bytes());
+        out[16..20].copy_from_slice(&self.root.to_le_bytes());
+        out[20..24].copy_from_slice(&self.hop.to_le_bytes());
+        // Bytes 24..32 stay zero: the padding `encode` writes after `hop`.
+        out
     }
 
     /// Decode from wire form.
@@ -244,6 +253,21 @@ mod tests {
         assert_eq!(ab.len(), 32);
         // Timestamp is the first field after the preamble.
         assert_eq!(&ab[..8], &123_456_789u64.to_le_bytes());
+    }
+
+    #[test]
+    fn auth_bytes_match_encoded_frame() {
+        // The stack-array fast path must stay byte-identical to the wire
+        // encoding with the preamble stripped.
+        let b = BeaconBody {
+            src: u32::MAX,
+            seq: 0,
+            timestamp_us: u64::MAX - 3,
+            root: 0xDEAD_BEEF,
+            hop: 7,
+        };
+        assert_eq!(&b.auth_bytes()[..], &b.encode()[PREAMBLE_LEN..]);
+        assert_eq!(&body().auth_bytes()[..], &body().encode()[PREAMBLE_LEN..]);
     }
 
     #[test]

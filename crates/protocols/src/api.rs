@@ -11,7 +11,9 @@ use clocks::AdjustedClock;
 use mac80211::frame::BeaconBody;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
+use sstsp_crypto::chain::chain_step_n;
 use sstsp_crypto::{BeaconAuth, ChainElement};
+use std::cell::Cell;
 use std::collections::HashMap;
 
 pub use rand_chacha;
@@ -74,6 +76,14 @@ pub struct ReceivedBeacon {
     pub local_rx_us: f64,
 }
 
+/// A registry entry: either a materialized anchor, or the `(seed, n)` pair
+/// whose walk `hⁿ(seed)` is owed on first lookup.
+#[derive(Debug, Clone, Copy)]
+enum AnchorEntry {
+    Ready(ChainElement),
+    Deferred { seed: ChainElement, n: usize },
+}
+
 /// The authenticated publication channel for hash-chain anchors.
 ///
 /// The paper assumes each node's anchor `hⁿ(s_i)` is distributed
@@ -82,9 +92,18 @@ pub struct ReceivedBeacon {
 /// is lazy (a node registers its anchor when it first generates its chain),
 /// which is observationally equivalent to pre-publication because entries
 /// are immutable once written.
+///
+/// Publication can even defer the anchor *walk* itself
+/// ([`publish_deferred`](Self::publish_deferred)): the `n`-hash chain walk
+/// is a pure function of the seed, so computing it at first lookup instead
+/// of at registration returns bit-identical anchors while sparing the walk
+/// entirely for stations nobody ever needs to authenticate. That walk is
+/// the dominant setup cost of a large network (n hashes × N stations), and
+/// in a single-collision-domain steady state only the reference's anchor
+/// is ever looked up.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AnchorRegistry {
-    anchors: HashMap<NodeId, ChainElement>,
+    anchors: HashMap<NodeId, Cell<AnchorEntry>>,
 }
 
 impl AnchorRegistry {
@@ -97,12 +116,31 @@ impl AnchorRegistry {
     /// distribution assumption means an attacker cannot overwrite a
     /// legitimate anchor.
     pub fn publish(&mut self, node: NodeId, anchor: ChainElement) {
-        self.anchors.entry(node).or_insert(anchor);
+        self.anchors
+            .entry(node)
+            .or_insert(Cell::new(AnchorEntry::Ready(anchor)));
     }
 
-    /// Look up a node's published anchor.
+    /// Publish the anchor `hⁿ(seed)` without walking the chain yet; the
+    /// walk runs on the first [`get`](Self::get) for `node`. First write
+    /// wins, exactly as for [`publish`](Self::publish).
+    pub fn publish_deferred(&mut self, node: NodeId, seed: ChainElement, n: usize) {
+        self.anchors
+            .entry(node)
+            .or_insert(Cell::new(AnchorEntry::Deferred { seed, n }));
+    }
+
+    /// Look up a node's published anchor, materializing a deferred entry.
     pub fn get(&self, node: NodeId) -> Option<ChainElement> {
-        self.anchors.get(&node).copied()
+        let cell = self.anchors.get(&node)?;
+        Some(match cell.get() {
+            AnchorEntry::Ready(anchor) => anchor,
+            AnchorEntry::Deferred { seed, n } => {
+                let anchor = chain_step_n(&seed, n);
+                cell.set(AnchorEntry::Ready(anchor));
+                anchor
+            }
+        })
     }
 
     /// Number of published anchors.
@@ -243,6 +281,39 @@ impl ProtocolConfig {
     }
 }
 
+/// A compact snapshot of the protocol state the engine's large-n fast path
+/// reads every beacon period.
+///
+/// The engine keeps these in dense structure-of-arrays storage so the per-BP
+/// metric passes (spread sampling, reference lookup, follower counting) are
+/// tight linear scans instead of virtual calls into scattered `Box<dyn>`
+/// node structs. A snapshot is pure *cache*: it must describe exactly what
+/// the trait methods would return at the instant it was taken, and the
+/// engine refreshes it after every callback that can mutate node state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotState {
+    /// The node's synchronized clock as an affine function of local
+    /// unadjusted time: `clock_us(local) = k * local + b`, evaluated with
+    /// exactly one multiply and one add (no re-association, no FMA) so the
+    /// result is bit-identical to [`SyncProtocol::clock_us`]. `None` when
+    /// the protocol's clock is not affine in local time.
+    pub affine_clock: Option<(f64, f64)>,
+    /// Mirror of [`SyncProtocol::is_synchronized`].
+    pub synchronized: bool,
+    /// Mirror of [`SyncProtocol::is_reference`].
+    pub is_reference: bool,
+    /// Mirror of [`SyncProtocol::current_reference`].
+    pub current_reference: Option<NodeId>,
+    /// The intent [`SyncProtocol::intent`] would return this BP, when that
+    /// is decidable without consuming an RNG draw (and without the local
+    /// clock reading). `None` means the engine must make the real call —
+    /// either the decision needs randomness or the protocol does not
+    /// predict its intents. Correctness requires: if `Some(i)`, the real
+    /// `intent()` call would return exactly `i` *and* would not touch the
+    /// node's RNG stream.
+    pub static_intent: Option<BeaconIntent>,
+}
+
 /// Everything a protocol may observe or use during one callback.
 pub struct NodeCtx<'a> {
     /// This node's id.
@@ -335,6 +406,21 @@ pub trait SyncProtocol {
     /// reference concept or while no reference is known.
     fn current_reference(&self) -> Option<NodeId> {
         None
+    }
+
+    /// Snapshot the state the engine's fast path caches in dense arrays
+    /// (see [`HotState`]). The default is maximally conservative: no affine
+    /// clock, no static intent — the engine then behaves exactly as it
+    /// would without the cache. Protocols overriding this must keep every
+    /// field consistent with the corresponding trait methods at all times.
+    fn hot_state(&self, _config: &ProtocolConfig) -> HotState {
+        HotState {
+            affine_clock: None,
+            synchronized: self.is_synchronized(),
+            is_reference: self.is_reference(),
+            current_reference: self.current_reference(),
+            static_intent: None,
+        }
     }
 }
 

@@ -40,8 +40,8 @@ pub(crate) mod testutil;
 pub mod tsf;
 
 pub use api::{
-    AnchorRegistry, BeaconIntent, BeaconPayload, NodeCtx, NodeId, ProtocolConfig, ReceivedBeacon,
-    SyncProtocol,
+    AnchorRegistry, BeaconIntent, BeaconPayload, HotState, NodeCtx, NodeId, ProtocolConfig,
+    ReceivedBeacon, SyncProtocol,
 };
 pub use asp::AspNode;
 pub use atsp::AtspNode;

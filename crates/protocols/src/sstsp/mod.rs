@@ -34,7 +34,8 @@
 //! only then pay for hash verification — same accept/reject set.)
 
 use crate::api::{
-    BeaconIntent, BeaconPayload, HasAdjustedClock, NodeCtx, NodeId, ReceivedBeacon, SyncProtocol,
+    BeaconIntent, BeaconPayload, HasAdjustedClock, HotState, NodeCtx, NodeId, ProtocolConfig,
+    ReceivedBeacon, SyncProtocol,
 };
 use clocks::{AdjustedClock, SyncSample};
 use mac80211::frame::BeaconBody;
@@ -114,11 +115,16 @@ pub struct SstspNode {
     /// Consecutive BPs spent election-eligible (drives the contention
     /// probability ramp; see `ProtocolConfig::contend_prob`).
     eligible_bps: u32,
-    /// The node's own µTESLA signer, created at node initiation (Sec. 3.3)
-    /// with its anchor published through the registry. Fractal-backed: it
-    /// stores O(log n) chain elements, not the full chain. Tests that skip
-    /// `init` fall back to creation at first reference assumption.
+    /// The node's own µTESLA signer. Fractal-backed: it stores O(log n)
+    /// chain elements, not the full chain. Constructed lazily from
+    /// `chain_seed` the first time this node actually signs (reference
+    /// assumption or relay duty); node initiation only draws the seed and
+    /// registers a deferred anchor, so a station that never transmits
+    /// never pays its chain walk. Tests that skip `init` fall back to
+    /// seed-drawing at first reference assumption.
     signer: Option<MuTeslaSigner>,
+    /// The chain seed drawn at initiation, pending signer construction.
+    chain_seed: Option<ChainElement>,
     ref_src: Option<NodeId>,
     /// The timing-domain root this node's clock descends from (its own id
     /// while holding the reference role). Propagated in beacons so
@@ -190,6 +196,7 @@ impl SstspNode {
             missed_bps: 0,
             eligible_bps: 0,
             signer: None,
+            chain_seed: None,
             ref_src: None,
             domain_root: None,
             my_hop: u32::MAX,
@@ -249,11 +256,11 @@ impl SstspNode {
     /// relay round — other upstreams are audible and re-attachment is far
     /// cheaper than spawning a new timing domain — so elections wait much
     /// longer.
-    fn election_threshold(&self, ctx: &NodeCtx<'_>) -> u32 {
-        if ctx.config.multihop_relay {
-            ctx.config.l + 8
+    fn election_threshold(&self, config: &ProtocolConfig) -> u32 {
+        if config.multihop_relay {
+            config.l + 8
         } else {
-            ctx.config.l
+            config.l
         }
     }
 
@@ -261,8 +268,8 @@ impl SstspNode {
     /// reference *is* the domain), total domain silence in relay mode
     /// (sibling relays prove the domain is alive even when our own
     /// upstream went quiet).
-    fn election_counter(&self, ctx: &NodeCtx<'_>) -> u32 {
-        if ctx.config.multihop_relay {
+    fn election_counter(&self, config: &ProtocolConfig) -> u32 {
+        if config.multihop_relay {
             self.domain_silent_bps
         } else {
             self.missed_bps
@@ -277,12 +284,25 @@ impl SstspNode {
         (j.max(1.0) as usize).min(ctx.config.total_intervals)
     }
 
-    /// Create the node's µTESLA signer and publish its anchor, if not done
-    /// yet (idempotent).
-    fn ensure_chain(&mut self, ctx: &mut NodeCtx<'_>) {
-        if self.signer.is_none() {
+    /// Draw the node's chain seed and register its (deferred) anchor, if
+    /// not done yet (idempotent). Consumes exactly the randomness the
+    /// eager chain build used to, so RNG stream positions are unchanged.
+    fn ensure_seed(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.signer.is_none() && self.chain_seed.is_none() {
             let mut seed: ChainElement = [0u8; 16];
             ctx.rng.fill(&mut seed);
+            ctx.anchors
+                .publish_deferred(ctx.id, seed, ctx.config.total_intervals);
+            self.chain_seed = Some(seed);
+        }
+    }
+
+    /// Create the node's µTESLA signer (walking the chain) and publish its
+    /// anchor, if not done yet (idempotent).
+    fn ensure_chain(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.signer.is_none() {
+            self.ensure_seed(ctx);
+            let seed = self.chain_seed.take().expect("seed drawn above");
             let signer = MuTeslaSigner::new(seed, Self::schedule(ctx));
             ctx.anchors.publish(ctx.id, signer.anchor());
             self.signer = Some(signer);
@@ -659,13 +679,17 @@ impl SstspNode {
 
 impl SyncProtocol for SstspNode {
     fn init(&mut self, ctx: &mut NodeCtx<'_>) {
-        // Node initiation (Sec. 3.3): pick a random seed, generate the hash
-        // chain, publish the authenticated anchor.
-        self.ensure_chain(ctx);
+        // Node initiation (Sec. 3.3): pick a random seed and publish the
+        // authenticated anchor. The chain walk itself is deferred — the
+        // registry materializes the anchor on first lookup, and the signer
+        // is built on first signing duty — which is observationally
+        // identical (the walk is a pure function of the seed) but skips
+        // the dominant O(n·N) setup cost for stations that never transmit.
+        self.ensure_seed(ctx);
     }
 
     fn chain_seed(&self) -> Option<ChainElement> {
-        self.signer.as_ref().map(|s| s.seed())
+        self.signer.as_ref().map(|s| s.seed()).or(self.chain_seed)
     }
 
     fn intent(&mut self, ctx: &mut NodeCtx<'_>) -> BeaconIntent {
@@ -703,7 +727,7 @@ impl SyncProtocol for SstspNode {
                         BeaconIntent::Silent
                     }
                 } else if self.synchronized
-                    && self.election_counter(ctx) > self.election_threshold(ctx)
+                    && self.election_counter(ctx.config) > self.election_threshold(ctx.config)
                 {
                     // Election-eligible: contend with ramping probability
                     // (see ProtocolConfig::contend_prob for why not always).
@@ -807,7 +831,7 @@ impl SyncProtocol for SstspNode {
                 } else {
                     self.domain_silent_bps = self.domain_silent_bps.saturating_add(1);
                 }
-                if self.election_counter(ctx) > self.election_threshold(ctx) {
+                if self.election_counter(ctx.config) > self.election_threshold(ctx.config) {
                     self.eligible_bps = self.eligible_bps.saturating_add(1);
                 } else {
                     self.eligible_bps = 0;
@@ -899,6 +923,44 @@ impl SyncProtocol for SstspNode {
 
     fn current_reference(&self) -> Option<NodeId> {
         self.ref_src
+    }
+
+    fn hot_state(&self, config: &ProtocolConfig) -> HotState {
+        // Mirror of `intent()`, restricted to the branches that neither
+        // consume randomness nor read the clock. The two probabilistic
+        // branches (multi-hop relay participation, election contention)
+        // return `None` so the engine makes the real call and the RNG
+        // stream advances exactly as it always did.
+        let static_intent = if !self.present {
+            Some(BeaconIntent::Silent)
+        } else {
+            match self.phase {
+                Phase::Coarse { .. } => Some(BeaconIntent::Silent),
+                Phase::Fine => {
+                    let relay_participant = config.multihop_relay
+                        && self.synchronized
+                        && self.ref_src.is_some()
+                        && self.my_hop != u32::MAX
+                        && self.missed_bps <= config.l;
+                    let election_contender = self.synchronized
+                        && self.election_counter(config) > self.election_threshold(config);
+                    if self.is_reference {
+                        Some(BeaconIntent::FixedSlot(0))
+                    } else if relay_participant || election_contender {
+                        None
+                    } else {
+                        Some(BeaconIntent::Silent)
+                    }
+                }
+            }
+        };
+        HotState {
+            affine_clock: Some((self.adjusted.k(), self.adjusted.b())),
+            synchronized: self.synchronized,
+            is_reference: self.is_reference,
+            current_reference: self.ref_src,
+            static_intent,
+        }
     }
 }
 

@@ -183,6 +183,33 @@ impl Channel {
             Delivery::Received
         }
     }
+
+    /// Batched delivery draws: fills `out` with `count` verdicts, one per
+    /// receiver in call order. Draw-for-draw equivalent to `count`
+    /// sequential [`Channel::deliver`] calls on the same RNG — identical
+    /// draw count (zero when the composed loss probability is zero) and
+    /// identical per-receiver decisions — but done in one tight pass so the
+    /// engine's receiver loop can separate randomness from delivery work.
+    pub fn deliver_batch<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        count: usize,
+        out: &mut Vec<Delivery>,
+    ) {
+        out.clear();
+        let loss = self.per + self.burst_loss - self.per * self.burst_loss;
+        if loss > 0.0 {
+            out.extend((0..count).map(|_| {
+                if rng.random_range(0.0..1.0) < loss {
+                    Delivery::Lost
+                } else {
+                    Delivery::Received
+                }
+            }));
+        } else {
+            out.resize(count, Delivery::Received);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +347,27 @@ mod tests {
         let mut rng_b = ChaCha12Rng::seed_from_u64(42);
         for _ in 0..10_000 {
             assert_eq!(plain.deliver(&mut rng_a), touched.deliver(&mut rng_b));
+        }
+    }
+
+    #[test]
+    fn deliver_batch_matches_sequential_deliver() {
+        // The batched path must be draw-for-draw identical to sequential
+        // `deliver` calls: same verdicts, same RNG consumption.
+        for (per, burst) in [(0.0, 0.0), (0.05, 0.0), (0.0, 0.3), (0.2, 0.4)] {
+            let mut ch = Channel::new(per);
+            ch.set_burst_loss(burst);
+            let mut rng_seq = ChaCha12Rng::seed_from_u64(77);
+            let mut rng_batch = ChaCha12Rng::seed_from_u64(77);
+            let seq: Vec<Delivery> = (0..5_000).map(|_| ch.deliver(&mut rng_seq)).collect();
+            let mut batch = Vec::new();
+            ch.deliver_batch(&mut rng_batch, 5_000, &mut batch);
+            assert_eq!(seq, batch, "per={per} burst={burst}");
+            // Both streams must be left at the same position.
+            assert_eq!(
+                rng_seq.random_range(0.0..1.0f64),
+                rng_batch.random_range(0.0..1.0f64)
+            );
         }
     }
 

@@ -43,6 +43,15 @@ for threads in 1 2 8; do
     RAYON_NUM_THREADS=$threads cargo test -q --release -p sstsp --test thread_determinism
 done
 
+echo "==> fast-path equivalence at RAYON_NUM_THREADS=1,2,8 (SSTSP_NO_FASTPATH runs bit-identical)"
+for threads in 1 2 8; do
+    echo "    RAYON_NUM_THREADS=$threads"
+    RAYON_NUM_THREADS=$threads cargo test -q --release -p sstsp-faults --test fastpath_equivalence
+done
+
+echo "==> large-n smoke (n=1000 run inside wall-clock budget, fast vs legacy path identical)"
+cargo run --release -q -p sstsp-bench --bin perf_baseline -- --smoke-large
+
 echo "==> work-stealing deque stress smoke (concurrent steal, exactly-once claims)"
 cargo test -q --release -p rayon deque_stress
 

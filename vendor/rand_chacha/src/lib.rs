@@ -91,6 +91,14 @@ impl ChaCha12Rng {
         self.consumed = 0;
     }
 
+    /// Exact keystream position as (next block counter, bytes of the
+    /// current block already served). Two streams with equal keys and
+    /// equal positions produce identical output forever; callers use this
+    /// to assert that a code path consumed no randomness.
+    pub fn stream_pos(&self) -> (u64, usize) {
+        (self.counter, self.consumed)
+    }
+
     #[inline]
     fn take(&mut self, n: usize) -> &[u8] {
         debug_assert!(n <= BLOCK_BYTES);
