@@ -47,9 +47,13 @@
 //! `SSTSP_LARGE_SMOKE_BUDGET_S` wall seconds (default 5 — a catastrophic-
 //! regression bound, ~1000x the expected release-build cost), and fails if
 //! the two paths disagree on any observable (full spread series + every
-//! summary counter). Nothing is written.
+//! summary counter). It then runs a 4-domain bridged mesh (per-domain
+//! window resolution + reference election) under the same wall budget and
+//! fails unless every collision domain ends the run holding a distinct
+//! reference. Nothing is written.
 
 use rayon::ThreadPool;
+use sstsp::scenario::TopologySpec;
 use sstsp::sweep::run_seeds;
 use sstsp::{Network, ProtocolKind, RunResult, ScenarioConfig};
 use sstsp_crypto::chain::chain_step;
@@ -217,6 +221,37 @@ fn run_smoke_large() -> ! {
         std::process::exit(1)
     }
     eprintln!("smoke-large: ok — paths bit-identical");
+
+    // Mesh workload: a 4-domain bridged mesh exercises the per-domain
+    // window resolution and reference election at a scale the goldens
+    // don't. Same wall budget; every domain must end the run holding a
+    // reference, each one distinct.
+    let mut mesh = ScenarioConfig::new(ProtocolKind::Sstsp, 103, 5.0, ENGINE_SEED);
+    mesh.topology = Some(TopologySpec::Bridged {
+        domains: 4,
+        cols: 5,
+        rows: 5,
+    });
+    let t0 = Instant::now();
+    let r = Network::build(&mesh).run();
+    let dt = t0.elapsed().as_secs_f64();
+    eprintln!("smoke-large: bridged mesh n=103 run took {dt:.3}s (budget {budget_s}s)");
+    if dt > budget_s {
+        eprintln!("smoke-large: FAIL — mesh run blew the wall-clock budget");
+        std::process::exit(1)
+    }
+    let report = r.domain_report.as_deref().unwrap_or_default();
+    let refs: Vec<_> = report.iter().filter_map(|d| d.final_reference).collect();
+    let mut distinct = refs.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    if report.len() != 4 || refs.len() != 4 || distinct.len() != 4 {
+        eprintln!(
+            "smoke-large: FAIL — mesh did not elect a distinct reference per domain: {report:?}"
+        );
+        std::process::exit(1)
+    }
+    eprintln!("smoke-large: ok — mesh elected {refs:?}");
     std::process::exit(0)
 }
 

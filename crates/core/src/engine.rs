@@ -28,8 +28,8 @@ use attacks::{AttackWindow, FastBeaconAttacker};
 use clocks::Oscillator;
 use mac80211::ContentionWindow;
 use protocols::api::{
-    AnchorRegistry, BeaconIntent, BeaconPayload, NodeCtx, NodeId, ProtocolConfig, ReceivedBeacon,
-    SyncProtocol,
+    AnchorRegistry, BeaconIntent, BeaconPayload, MeshRole, NodeCtx, NodeId, ProtocolConfig,
+    ReceivedBeacon, SyncProtocol,
 };
 use protocols::{AspNode, AtspNode, RkNode, SatsfNode, SstspNode, TatspNode, TsfNode};
 use rand::Rng;
@@ -37,9 +37,11 @@ use rand_chacha::ChaCha12Rng;
 use simcore::rng::StreamDomain;
 use simcore::{CountingRng, RngStreams, SimControl, SimDuration, SimTime, Simulator, TimeSeries};
 use sstsp_telemetry as telemetry;
+use std::sync::Arc;
 use sync_analysis::{SpreadTracker, SyncCriterion};
 use wireless::{
-    resolve_multihop, Channel, Delivery, MhAttempt, PhyParams, Topology, TxAttempt, WindowOutcome,
+    resolve_mesh, resolve_multihop, Channel, Delivery, DomainDecomposition, MhAttempt, PhyParams,
+    Topology, TxAttempt, WindowOutcome,
 };
 
 /// Binning of the per-BP spread distribution recorded into telemetry:
@@ -50,6 +52,21 @@ const SPREAD_DIST: telemetry::DistSpec = telemetry::DistSpec {
     hi: 500.0,
     bins: 1000,
 };
+
+/// End-of-run summary of one collision domain in a mesh scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainSummary {
+    /// Collision-domain index.
+    pub domain: u32,
+    /// Stations assigned to the domain (gateways included).
+    pub nodes: u32,
+    /// The domain member holding a reference role at run end (subordinate
+    /// or sovereign), if any.
+    pub final_reference: Option<NodeId>,
+    /// Max pairwise clock difference across the domain's honest
+    /// synchronized members at run end, µs (`None` with fewer than two).
+    pub end_spread_us: Option<f64>,
+}
 
 /// Aggregate outcome of one simulation run.
 #[derive(Debug, Clone)]
@@ -88,6 +105,8 @@ pub struct RunResult {
     /// Multi-hop runs only: per honest station `(hop distance from the
     /// final reference, |clock − reference clock| at the end of the run)`.
     pub hop_profile: Option<Vec<(u32, f64)>>,
+    /// Mesh runs only: one summary per collision domain.
+    pub domain_report: Option<Vec<DomainSummary>>,
     /// Protocol name.
     pub protocol: &'static str,
     /// Network size.
@@ -192,6 +211,7 @@ pub struct Network {
     scenario_rng: ChaCha12Rng,
     anchors: AnchorRegistry,
     topology: Option<Topology>,
+    domains: Option<DomainDecomposition>,
     scratch: Scratch,
 }
 
@@ -226,8 +246,10 @@ impl Network {
 
         // Multi-hop topology (the future-work extension): built up front
         // from the scenario stream; SSTSP members relay the timing wave.
+        let mut domains: Option<DomainDecomposition> = None;
         let topology = sc.topology.map(|spec| match spec {
             TopologySpec::Line => Topology::line(sc.n_nodes),
+            TopologySpec::Ring => Topology::ring(sc.n_nodes),
             TopologySpec::Grid { cols, rows } => {
                 assert_eq!(cols * rows, sc.n_nodes, "grid must cover all stations");
                 Topology::grid(cols, rows)
@@ -236,9 +258,26 @@ impl Network {
                 let mut topo_rng = streams.stream(StreamDomain::Scenario, 1);
                 Topology::random_disk(sc.n_nodes, side, range, &mut topo_rng)
             }
+            TopologySpec::Bridged {
+                domains: nd,
+                cols,
+                rows,
+            } => {
+                let (topo, decomp) = Topology::bridged(nd, cols, rows);
+                assert_eq!(
+                    topo.len(),
+                    sc.n_nodes,
+                    "bridged mesh must cover all stations"
+                );
+                domains = Some(decomp);
+                topo
+            }
         });
         if topology.is_some() && sc.protocol == ProtocolKind::Sstsp {
             sc.protocol_config.multihop_relay = true;
+            // An explicit collision-domain decomposition switches SSTSP to
+            // per-domain reference election.
+            sc.protocol_config.domain_election = domains.is_some();
         }
 
         let mut osc_rng = streams.stream(StreamDomain::Oscillator, 0);
@@ -282,6 +321,25 @@ impl Network {
             }
         }
 
+        // Distribute deployment-time mesh roles: each station learns its
+        // domain, gateway status and the shared station→domain map (out of
+        // band, like key anchors — beacon bytes stay identical).
+        if let Some(d) = &domains {
+            if sc.protocol_config.domain_election {
+                let domain_of = Arc::new(d.domain_of.clone());
+                let bridges = Arc::new(d.bridges.clone());
+                for id in 0..n as u32 {
+                    nodes[id as usize].set_mesh_role(MeshRole {
+                        domain: d.domain_of(id),
+                        num_domains: d.len() as u32,
+                        bridge_index: d.bridges.iter().position(|&b| b == id).map(|i| i as u32),
+                        domain_of: domain_of.clone(),
+                        bridges: bridges.clone(),
+                    });
+                }
+            }
+        }
+
         Network {
             phy,
             window: ContentionWindow::new(sc.protocol_config.w, phy.slot_us),
@@ -301,6 +359,7 @@ impl Network {
             scenario_rng: streams.stream(StreamDomain::Scenario, 0),
             anchors: AnchorRegistry::new(),
             topology,
+            domains,
             scratch: Scratch::new(n),
             scenario: sc,
         }
@@ -393,6 +452,7 @@ impl Network {
             mut scenario_rng,
             mut anchors,
             topology,
+            domains,
             mut scratch,
             ..
         } = self;
@@ -411,6 +471,17 @@ impl Network {
         let fastpath = !active
             && topology.is_none()
             && std::env::var("SSTSP_NO_FASTPATH").map_or(true, |v| v != "1");
+        // One counter tick per run records which loop actually executed, so
+        // equivalence tests can *prove* the slow path ran instead of
+        // trusting the gate above.
+        telemetry::counter_add(
+            if fastpath {
+                "engine.path.fast"
+            } else {
+                "engine.path.slow"
+            },
+            1,
+        );
         let mut soa = NodeSoa::new(scenario.n_nodes as usize);
 
         // Coarse per-phase wall-clock accounting for the BP loop, emitted
@@ -582,6 +653,47 @@ impl Network {
                                 nodes[id as usize].on_leave(&mut ctx);
                                 if let Some(r) = rejoin_after_bps {
                                     returns.push((k + r.max(1), id));
+                                }
+                            }
+                        }
+                        FaultAction::CrashDomain {
+                            domain,
+                            rejoin_after_bps,
+                        } => {
+                            if let Some(d) = &domains {
+                                let members = &d.domains[domain as usize % d.len()];
+                                for &node in members {
+                                    if d.is_bridge(node) || !present[node as usize] {
+                                        continue;
+                                    }
+                                    present[node as usize] = false;
+                                    let local = oscs[node as usize].local_us(t0);
+                                    let mut ctx =
+                                        node_ctx!(proto_rngs, &mut anchors, &pcfg, node, local);
+                                    nodes[node as usize].on_leave(&mut ctx);
+                                    if let Some(r) = rejoin_after_bps {
+                                        returns.push((k + r.max(1), node));
+                                    }
+                                }
+                            }
+                        }
+                        FaultAction::KillBridge {
+                            bridge,
+                            rejoin_after_bps,
+                        } => {
+                            if let Some(d) = &domains {
+                                if !d.bridges.is_empty() {
+                                    let node = d.bridges[bridge as usize % d.bridges.len()];
+                                    if present[node as usize] {
+                                        present[node as usize] = false;
+                                        let local = oscs[node as usize].local_us(t0);
+                                        let mut ctx =
+                                            node_ctx!(proto_rngs, &mut anchors, &pcfg, node, local);
+                                        nodes[node as usize].on_leave(&mut ctx);
+                                        if let Some(r) = rejoin_after_bps {
+                                            returns.push((k + r.max(1), node));
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -885,7 +997,15 @@ impl Network {
                         bp_counters.window_silent += 1;
                     } else {
                         let airtime_slots = pcfg.beacon_airtime_slots;
-                        let out = resolve_multihop(topo, attempts, airtime_slots);
+                        // With a collision-domain decomposition the window
+                        // resolves per domain; `resolve_mesh` is pinned
+                        // output-identical to the naive global resolution
+                        // (wireless mesh_props differential proptests), so
+                        // existing multi-hop goldens are unaffected.
+                        let out = match &domains {
+                            Some(d) => resolve_mesh(topo, d, attempts, airtime_slots),
+                            None => resolve_multihop(topo, attempts, airtime_slots),
+                        };
 
                         // Beacons are produced at each transmitter's start
                         // slot; deliveries happen one airtime later.
@@ -1211,6 +1331,41 @@ impl Network {
             _ => None,
         };
 
+        // Mesh: per-domain end-of-run summary (reference identity and
+        // intra-domain agreement — the per-domain analogue of the global
+        // spread metric, which keeps measuring *cross*-domain agreement).
+        let domain_report = domains.as_ref().map(|d| {
+            let t_end = horizon - SimDuration::from_us(1);
+            d.domains
+                .iter()
+                .enumerate()
+                .map(|(di, members)| {
+                    let final_reference = members
+                        .iter()
+                        .copied()
+                        .find(|&id| present[id as usize] && nodes[id as usize].is_reference());
+                    let mut lo = f64::INFINITY;
+                    let mut hi = f64::NEG_INFINITY;
+                    let mut qualified = 0u32;
+                    for &id in members {
+                        let i = id as usize;
+                        if present[i] && honest[i] && nodes[i].is_synchronized() {
+                            let c = nodes[i].clock_us(oscs[i].local_us(t_end));
+                            lo = lo.min(c);
+                            hi = hi.max(c);
+                            qualified += 1;
+                        }
+                    }
+                    DomainSummary {
+                        domain: di as u32,
+                        nodes: members.len() as u32,
+                        final_reference,
+                        end_spread_us: (qualified >= 2).then_some(hi - lo),
+                    }
+                })
+                .collect()
+        });
+
         let criterion = SyncCriterion::default();
         let sync_latency_s = criterion.latency(tracker.series()).map(|t| t.as_secs_f64());
         let steady_error_us = criterion.steady_state_error(tracker.series());
@@ -1236,6 +1391,7 @@ impl Network {
             retargets,
             alerts,
             hop_profile,
+            domain_report,
             protocol: scenario.protocol.name(),
             n_nodes: scenario.n_nodes,
             seed: scenario.seed,

@@ -54,6 +54,24 @@ pub enum FaultAction {
         /// Affected station.
         node: NodeId,
     },
+    /// Crash every non-gateway member of one collision domain (mesh
+    /// scenarios with a domain decomposition only; no-op otherwise). The
+    /// domain index wraps modulo the domain count so fuzz plans stay valid
+    /// across shrinking.
+    CrashDomain {
+        /// Collision-domain index (wrapped modulo the domain count).
+        domain: u32,
+        /// BPs until the members reboot; `None` = permanent.
+        rejoin_after_bps: Option<u64>,
+    },
+    /// Crash one gateway (bridge) station of a mesh decomposition (no-op
+    /// without one). The bridge index wraps modulo the bridge count.
+    KillBridge {
+        /// Bridge index (wrapped modulo the bridge count).
+        bridge: u32,
+        /// BPs until the gateway reboots; `None` = permanent.
+        rejoin_after_bps: Option<u64>,
+    },
     /// Set the channel's burst-loss probability (0 clears it).
     SetBurstLoss(f64),
     /// Engage (`true`) or release (`false`) fault-layer jamming, OR-ed with

@@ -115,6 +115,36 @@ pub enum TopologySpec {
         /// Radio range.
         range: f64,
     },
+    /// A cycle of stations (two disjoint timing paths between any pair).
+    Ring,
+    /// `domains` full-mesh islands of `cols × rows` stations each, chained
+    /// by gateway stations that hear two adjacent islands in full — the
+    /// canonical multi-collision-domain mesh. Station count is derived:
+    /// `domains·cols·rows + domains − 1`. SSTSP runs with per-domain
+    /// reference election on this topology.
+    Bridged {
+        /// Number of collision-domain islands.
+        domains: u32,
+        /// Island grid columns.
+        cols: u32,
+        /// Island grid rows.
+        rows: u32,
+    },
+}
+
+impl TopologySpec {
+    /// The station count this spec requires, when it determines one.
+    pub fn required_nodes(&self) -> Option<u32> {
+        match *self {
+            TopologySpec::Grid { cols, rows } => Some(cols * rows),
+            TopologySpec::Bridged {
+                domains,
+                cols,
+                rows,
+            } => Some(domains * cols * rows + domains - 1),
+            _ => None,
+        }
+    }
 }
 
 /// A jamming window: the channel destroys every transmission inside it.

@@ -13,11 +13,12 @@
 
 use crate::engine::RunResult;
 use crate::instrument::{BpView, DeliveryCtx, DeliveryFate, DeliveryObs, EngineHook};
-use crate::scenario::ScenarioConfig;
+use crate::scenario::{ScenarioConfig, TopologySpec};
 use protocols::api::{AnchorRegistry, BeaconPayload, NodeId};
 use protocols::sstsp::SstspStats;
 use simcore::SimTime;
 use sstsp_telemetry::{RxOutcome, TraceEvent};
+use wireless::{DomainDecomposition, Topology};
 
 /// Classify what a receiver did with one beacon from its stats deltas.
 ///
@@ -67,6 +68,8 @@ fn view_spread_us(view: &BpView<'_>) -> Option<f64> {
 pub struct TraceRecorder {
     events: Vec<TraceEvent>,
     last_reference: Option<NodeId>,
+    domains: Option<DomainDecomposition>,
+    last_domain_refs: Vec<Option<NodeId>>,
 }
 
 impl TraceRecorder {
@@ -95,6 +98,18 @@ impl TraceRecorder {
 
 impl EngineHook for TraceRecorder {
     fn on_run_start(&mut self, scenario: &ScenarioConfig, _anchors: &AnchorRegistry) {
+        // Mesh runs: rebuild the (deterministic) domain decomposition so the
+        // recorder can narrate per-domain reference elections.
+        if let Some(TopologySpec::Bridged {
+            domains,
+            cols,
+            rows,
+        }) = scenario.topology
+        {
+            let (_, decomp) = Topology::bridged(domains, cols, rows);
+            self.last_domain_refs = vec![None; decomp.len()];
+            self.domains = Some(decomp);
+        }
         self.events.push(TraceEvent::RunStart {
             protocol: scenario.protocol.name().to_string(),
             n_nodes: scenario.n_nodes,
@@ -122,6 +137,23 @@ impl EngineHook for TraceRecorder {
     }
 
     fn on_bp_end(&mut self, view: &BpView<'_>) {
+        if let Some(d) = &self.domains {
+            for (di, members) in d.domains.iter().enumerate() {
+                let holder = members.iter().copied().find(|&id| {
+                    let s = &view.nodes[id as usize];
+                    s.present && s.is_reference
+                });
+                if holder != self.last_domain_refs[di] {
+                    self.events.push(TraceEvent::DomainRefChange {
+                        bp: view.bp,
+                        domain: di as u32,
+                        from: self.last_domain_refs[di],
+                        to: holder,
+                    });
+                    self.last_domain_refs[di] = holder;
+                }
+            }
+        }
         if view.reference != self.last_reference {
             self.events.push(TraceEvent::RefChange {
                 bp: view.bp,

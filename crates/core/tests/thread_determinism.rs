@@ -31,9 +31,19 @@ fn fingerprint() -> String {
         .map(|&k| ScenarioConfig::new(k, 5, 5.0, 3))
         .collect();
     let by_config = run_configs(&configs);
+    // The mesh-golden scenario (2-domain bridged mesh, per-domain election):
+    // its spread bytes *and* per-domain report must be pool-size
+    // independent too.
+    let mut mesh = ScenarioConfig::new(ProtocolKind::Sstsp, 13, 12.0, 7);
+    mesh.topology = Some(sstsp::scenario::TopologySpec::Bridged {
+        domains: 2,
+        cols: 3,
+        rows: 2,
+    });
+    let by_mesh = run_seeds(&mesh, &[7, 8]);
 
     let mut s = String::new();
-    for r in by_seed.iter().chain(&by_config) {
+    for r in by_seed.iter().chain(&by_config).chain(&by_mesh) {
         s.push_str(&format!(
             "{}/{}/{} peak={:016x} tx={} coll={} silent={} refchg={}\n",
             r.protocol,
@@ -49,6 +59,15 @@ fn fingerprint() -> String {
             s.push_str(&format!("{:016x},", v.to_bits()));
         }
         s.push('\n');
+        for d in r.domain_report.as_deref().unwrap_or_default() {
+            s.push_str(&format!(
+                "dom {} n={} ref={:?} spread={:?}\n",
+                d.domain,
+                d.nodes,
+                d.final_reference,
+                d.end_spread_us.map(f64::to_bits),
+            ));
+        }
     }
     s
 }

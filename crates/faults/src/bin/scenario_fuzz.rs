@@ -1,7 +1,9 @@
 //! Scenario fuzzer / fault-matrix CLI.
 //!
 //! ```text
-//! scenario_fuzz fuzz [--iters N] [--seed S]   random fault plans, shrink any violation
+//! scenario_fuzz fuzz [--iters N] [--seed S] [--mesh]
+//!                                             random fault plans, shrink any violation
+//!                                             (--mesh adds a topology dimension)
 //! scenario_fuzz replay "<spec>"               re-run a one-line reproducer spec
 //! scenario_fuzz matrix                        one representative run per fault class
 //! ```
@@ -17,7 +19,9 @@ use sstsp_faults::matrix::run_matrix;
 use sstsp_faults::plan::FuzzCase;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: scenario_fuzz fuzz [--iters N] [--seed S] | replay \"<spec>\" | matrix");
+    eprintln!(
+        "usage: scenario_fuzz fuzz [--iters N] [--seed S] [--mesh] | replay \"<spec>\" | matrix"
+    );
     ExitCode::from(2)
 }
 
@@ -28,6 +32,10 @@ fn main() -> ExitCode {
             let mut cfg = FuzzConfig::default();
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
+                if flag == "--mesh" {
+                    cfg.mesh = true;
+                    continue;
+                }
                 let Some(value) = it.next() else {
                     return usage();
                 };
@@ -38,8 +46,10 @@ fn main() -> ExitCode {
                 }
             }
             println!(
-                "fuzzing {} cases from master seed {}",
-                cfg.iterations, cfg.master_seed
+                "fuzzing {} cases from master seed {}{}",
+                cfg.iterations,
+                cfg.master_seed,
+                if cfg.mesh { " (mesh topologies)" } else { "" }
             );
             let report = fuzz(&cfg, |line| println!("  {line}"));
             match report.failure {

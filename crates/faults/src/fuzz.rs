@@ -13,7 +13,7 @@ use rayon::prelude::*;
 use sstsp::invariants::Violation;
 
 use crate::harness::run_case;
-use crate::plan::{CorruptField, FaultEvent, FaultKind, FaultPlan, FuzzCase};
+use crate::plan::{CorruptField, FaultEvent, FaultKind, FaultPlan, FuzzCase, MeshSpec};
 use crate::shrink::shrink;
 
 /// Fuzzer knobs. Defaults keep a full sweep under a couple of minutes.
@@ -25,6 +25,10 @@ pub struct FuzzConfig {
     pub master_seed: u64,
     /// Maximum events per plan.
     pub max_events: usize,
+    /// Fuzz mesh topologies: each case also draws a topology dimension
+    /// (line / ring / bridged multi-domain) and may add a domain-targeted
+    /// fault. `false` keeps the original single-hop stream byte-stable.
+    pub mesh: bool,
 }
 
 impl Default for FuzzConfig {
@@ -33,6 +37,7 @@ impl Default for FuzzConfig {
             iterations: 25,
             master_seed: 2006,
             max_events: 4,
+            mesh: false,
         }
     }
 }
@@ -74,6 +79,7 @@ pub fn random_case(rng: &mut ChaCha12Rng, max_events: usize) -> FuzzCase {
         seed: rng.random_range(0..u64::MAX),
         m: MS[rng.random_range(0..MS.len())],
         guard_fine_us: DELTAS[rng.random_range(0..DELTAS.len())],
+        mesh: None,
         plan: FaultPlan {
             seed: rng.random_range(0..u64::MAX),
             events: Vec::new(),
@@ -85,6 +91,71 @@ pub fn random_case(rng: &mut ChaCha12Rng, max_events: usize) -> FuzzCase {
         case.plan.events.push(random_event(rng, n, total_bps));
     }
     case
+}
+
+/// Derive a random *mesh* case: a plain [`random_case`] (consuming the
+/// identical RNG prefix, so the single-hop stream stays byte-stable) plus a
+/// topology dimension and, for bridged meshes, possibly one domain-targeted
+/// fault. Node-targeted faults are retargeted modulo the topology's actual
+/// station count (bridged meshes derive their own `n`).
+pub fn random_mesh_case(rng: &mut ChaCha12Rng, max_events: usize) -> FuzzCase {
+    let mut case = random_case(rng, max_events);
+    let mesh = match rng.random_range(0..6u32) {
+        0 => MeshSpec::Line,
+        1 => MeshSpec::Ring,
+        _ => MeshSpec::Bridged {
+            domains: rng.random_range(2..=3),
+            cols: rng.random_range(1..=3),
+            rows: rng.random_range(1..=2),
+        },
+    };
+    case.mesh = Some(mesh);
+    let n = case.scenario().n_nodes;
+    for ev in &mut case.plan.events {
+        retarget_nodes(&mut ev.kind, n);
+    }
+    if let MeshSpec::Bridged { domains, .. } = mesh {
+        if rng.random_bool(0.6) {
+            let total_bps = case.total_bps();
+            // Past BP 60 every domain has had time to elect a reference
+            // worth crashing.
+            let start_bp = rng.random_range(60..total_bps.saturating_sub(40).max(61));
+            let rejoin = if rng.random_bool(0.7) {
+                Some(rng.random_range(10..60))
+            } else {
+                None
+            };
+            let kind = if rng.random_bool(0.5) {
+                FaultKind::CrashDomain {
+                    domain: rng.random_range(0..domains),
+                    rejoin_after_bps: rejoin,
+                }
+            } else {
+                FaultKind::KillBridge {
+                    bridge: rng.random_range(0..domains - 1),
+                    rejoin_after_bps: rejoin,
+                }
+            };
+            case.plan.events.push(FaultEvent {
+                start_bp,
+                end_bp: start_bp,
+                kind,
+            });
+        }
+    }
+    case
+}
+
+/// Clamp a fault's station target into `0..n` (the engine indexes stations
+/// directly, so an out-of-range target would be a harness bug, not a
+/// protocol bug).
+pub(crate) fn retarget_nodes(kind: &mut FaultKind, n: u32) {
+    match kind {
+        FaultKind::Crash { node, .. }
+        | FaultKind::ClockStep { node, .. }
+        | FaultKind::ClockFreeze { node } => *node %= n,
+        _ => {}
+    }
 }
 
 fn random_event(rng: &mut ChaCha12Rng, n: u32, total_bps: u64) -> FaultEvent {
@@ -152,7 +223,13 @@ fn random_event(rng: &mut ChaCha12Rng, n: u32, total_bps: u64) -> FaultEvent {
 pub fn fuzz<L: FnMut(&str)>(cfg: &FuzzConfig, mut log: L) -> FuzzReport {
     let mut rng = ChaCha12Rng::seed_from_u64(cfg.master_seed);
     let cases: Vec<FuzzCase> = (0..cfg.iterations)
-        .map(|_| random_case(&mut rng, cfg.max_events))
+        .map(|_| {
+            if cfg.mesh {
+                random_mesh_case(&mut rng, cfg.max_events)
+            } else {
+                random_case(&mut rng, cfg.max_events)
+            }
+        })
         .collect();
     let violation_counts: Vec<usize> = cases
         .par_iter()
@@ -160,12 +237,13 @@ pub fn fuzz<L: FnMut(&str)>(cfg: &FuzzConfig, mut log: L) -> FuzzReport {
         .collect();
     for (i, case) in cases.iter().enumerate() {
         if violation_counts[i] == 0 {
+            let mesh_note = case.mesh.map(|m| format!(", mesh={m}")).unwrap_or_default();
             log(&format!(
-                "case {}/{}: ok ({} events, N={}, {} s)",
+                "case {}/{}: ok ({} events, N={}, {} s{mesh_note})",
                 i + 1,
                 cfg.iterations,
                 case.plan.events.len(),
-                case.n,
+                case.scenario().n_nodes,
                 case.duration_s
             ));
             continue;

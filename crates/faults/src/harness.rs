@@ -113,6 +113,20 @@ impl EngineHook for FaultHarness {
                         actions.push(FaultAction::ClockFreeze { node });
                     }
                     FaultKind::Jam => actions.push(FaultAction::SetJammed(true)),
+                    FaultKind::CrashDomain {
+                        domain,
+                        rejoin_after_bps,
+                    } => actions.push(FaultAction::CrashDomain {
+                        domain,
+                        rejoin_after_bps,
+                    }),
+                    FaultKind::KillBridge {
+                        bridge,
+                        rejoin_after_bps,
+                    } => actions.push(FaultAction::KillBridge {
+                        bridge,
+                        rejoin_after_bps,
+                    }),
                     FaultKind::Corrupt { .. }
                     | FaultKind::DisclosureLoss { .. }
                     | FaultKind::ChainExhaust { .. } => {}

@@ -11,7 +11,7 @@
 use std::fmt;
 use std::str::FromStr;
 
-use sstsp::scenario::{ProtocolKind, ScenarioConfig};
+use sstsp::scenario::{ProtocolKind, ScenarioConfig, TopologySpec};
 
 /// Which field of a secured beacon a corruption fault damages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +98,24 @@ pub enum FaultKind {
     },
     /// Jam the channel for the window.
     Jam,
+    /// Crash every non-gateway member of one collision domain at the
+    /// window start (mesh cases with a bridged topology only; no-op
+    /// otherwise). The index wraps modulo the domain count so shrunk
+    /// cases stay valid.
+    CrashDomain {
+        /// Collision-domain index.
+        domain: u32,
+        /// BPs until the members reboot; `None` = permanent.
+        rejoin_after_bps: Option<u64>,
+    },
+    /// Crash one gateway (bridge) station of a bridged mesh at the window
+    /// start (no-op without a decomposition). Wraps modulo bridge count.
+    KillBridge {
+        /// Bridge index.
+        bridge: u32,
+        /// BPs until the gateway reboots; `None` = permanent.
+        rejoin_after_bps: Option<u64>,
+    },
     /// Shorten every station's hash chain to `intervals` so the chains
     /// exhaust mid-run (EXPERIMENTS.md deviation #5: the paper never
     /// discusses re-keying). Applied before the network is built; the
@@ -136,6 +154,101 @@ pub struct FaultPlan {
     pub events: Vec<FaultEvent>,
 }
 
+/// The topology dimension of a fuzz case. `None` on a [`FuzzCase`] keeps
+/// the paper's single-hop IBSS; each variant maps onto a [`TopologySpec`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MeshSpec {
+    /// A path of stations.
+    Line,
+    /// A cycle of stations.
+    Ring,
+    /// Seeded unit-disk graph (side, radio range); the generator rejects
+    /// disconnected samples deterministically.
+    Rgg {
+        /// Square side length.
+        side: f64,
+        /// Radio range.
+        range: f64,
+    },
+    /// Bridged multi-collision-domain mesh; overrides the case's `n` with
+    /// the station count the decomposition requires.
+    Bridged {
+        /// Island count.
+        domains: u32,
+        /// Island grid columns.
+        cols: u32,
+        /// Island grid rows.
+        rows: u32,
+    },
+}
+
+impl MeshSpec {
+    /// The [`TopologySpec`] this mesh dimension materializes as.
+    pub fn topology(self) -> TopologySpec {
+        match self {
+            MeshSpec::Line => TopologySpec::Line,
+            MeshSpec::Ring => TopologySpec::Ring,
+            MeshSpec::Rgg { side, range } => TopologySpec::RandomDisk { side, range },
+            MeshSpec::Bridged {
+                domains,
+                cols,
+                rows,
+            } => TopologySpec::Bridged {
+                domains,
+                cols,
+                rows,
+            },
+        }
+    }
+}
+
+impl fmt::Display for MeshSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MeshSpec::Line => write!(f, "line"),
+            MeshSpec::Ring => write!(f, "ring"),
+            MeshSpec::Rgg { side, range } => write!(f, "rgg:{side}:{range}"),
+            MeshSpec::Bridged {
+                domains,
+                cols,
+                rows,
+            } => write!(f, "bridged:{domains}:{cols}:{rows}"),
+        }
+    }
+}
+
+impl FromStr for MeshSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or("");
+        let mut arg = |what: &str| {
+            parts
+                .next()
+                .ok_or_else(|| SpecError(format!("`{head}` mesh needs `{what}`")))
+        };
+        let mesh = match head {
+            "line" => MeshSpec::Line,
+            "ring" => MeshSpec::Ring,
+            "rgg" => MeshSpec::Rgg {
+                side: parse_num("side", arg("side")?)?,
+                range: parse_num("range", arg("range")?)?,
+            },
+            "bridged" => MeshSpec::Bridged {
+                domains: parse_num("domains", arg("domains")?)?,
+                cols: parse_num("cols", arg("cols")?)?,
+                rows: parse_num("rows", arg("rows")?)?,
+            },
+            _ => return Err(SpecError(format!("unknown mesh kind `{head}`"))),
+        };
+        if parts.next().is_some() {
+            return Err(SpecError(format!("trailing mesh args in `{s}`")));
+        }
+        Ok(mesh)
+    }
+}
+
 /// A fuzzer case: scenario dimensions plus the fault plan. `Display`
 /// produces the one-line spec; `FromStr` parses it back (round-trip exact —
 /// floats print in shortest-round-trip form).
@@ -151,6 +264,8 @@ pub struct FuzzCase {
     pub m: u32,
     /// Fine guard time δ, µs.
     pub guard_fine_us: f64,
+    /// Topology dimension (`None` = single-hop IBSS).
+    pub mesh: Option<MeshSpec>,
     /// The fault schedule.
     pub plan: FaultPlan,
 }
@@ -164,6 +279,7 @@ impl FuzzCase {
             seed,
             m: 4,
             guard_fine_us: 300.0,
+            mesh: None,
             plan: FaultPlan::default(),
         }
     }
@@ -179,6 +295,13 @@ impl FuzzCase {
     /// [`FaultKind::ChainExhaust`] event.
     pub fn scenario(&self) -> ScenarioConfig {
         let mut cfg = ScenarioConfig::new(ProtocolKind::Sstsp, self.n, self.duration_s, self.seed);
+        if let Some(mesh) = self.mesh {
+            let topo = mesh.topology();
+            if let Some(required) = topo.required_nodes() {
+                cfg.n_nodes = required;
+            }
+            cfg.topology = Some(topo);
+        }
         cfg.protocol_config.m = self.m;
         cfg.protocol_config.guard_fine_us = self.guard_fine_us;
         for ev in &self.plan.events {
@@ -207,6 +330,22 @@ impl fmt::Display for FaultEvent {
             FaultKind::ClockStep { node, delta_us } => write!(f, ":node={node},us={delta_us}"),
             FaultKind::ClockFreeze { node } => write!(f, ":node={node}"),
             FaultKind::Jam => Ok(()),
+            FaultKind::CrashDomain {
+                domain,
+                rejoin_after_bps,
+            } => write!(
+                f,
+                ":domain={domain},rejoin={}",
+                rejoin_token(rejoin_after_bps)
+            ),
+            FaultKind::KillBridge {
+                bridge,
+                rejoin_after_bps,
+            } => write!(
+                f,
+                ":bridge={bridge},rejoin={}",
+                rejoin_token(rejoin_after_bps)
+            ),
             FaultKind::ChainExhaust { intervals } => write!(f, ":at={intervals}"),
         }
     }
@@ -222,6 +361,8 @@ fn kind_token(kind: &FaultKind) -> &'static str {
         FaultKind::ClockFreeze { .. } => "freeze",
         FaultKind::DisclosureLoss { .. } => "discloss",
         FaultKind::Jam => "jam",
+        FaultKind::CrashDomain { .. } => "crashdom",
+        FaultKind::KillBridge { .. } => "killbridge",
         FaultKind::ChainExhaust { .. } => "exhaust",
     }
 }
@@ -240,6 +381,9 @@ impl fmt::Display for FuzzCase {
             "n={} dur={} seed={} m={} delta={} plan={}",
             self.n, self.duration_s, self.seed, self.m, self.guard_fine_us, self.plan.seed
         )?;
+        if let Some(mesh) = self.mesh {
+            write!(f, " mesh={mesh}")?;
+        }
         for ev in &self.plan.events {
             write!(f, " {ev}")?;
         }
@@ -302,6 +446,8 @@ impl FromStr for FaultEvent {
         let mut rejoin: Option<Option<u64>> = None;
         let mut us: Option<f64> = None;
         let mut at: Option<u64> = None;
+        let mut domain: Option<u32> = None;
+        let mut bridge: Option<u32> = None;
         for token in args.unwrap_or("").split(',').filter(|t| !t.is_empty()) {
             let (k, v) = split_kv(token, "event args")?;
             match k {
@@ -311,6 +457,8 @@ impl FromStr for FaultEvent {
                 "rejoin" => rejoin = Some(parse_rejoin(v)?),
                 "us" => us = Some(parse_num(k, v)?),
                 "at" => at = Some(parse_num(k, v)?),
+                "domain" => domain = Some(parse_num(k, v)?),
+                "bridge" => bridge = Some(parse_num(k, v)?),
                 _ => return Err(SpecError(format!("unknown event arg `{k}`"))),
             }
         }
@@ -341,6 +489,14 @@ impl FromStr for FaultEvent {
                 p: p.ok_or_else(|| missing("p"))?,
             },
             "jam" => FaultKind::Jam,
+            "crashdom" => FaultKind::CrashDomain {
+                domain: domain.ok_or_else(|| missing("domain"))?,
+                rejoin_after_bps: rejoin.ok_or_else(|| missing("rejoin"))?,
+            },
+            "killbridge" => FaultKind::KillBridge {
+                bridge: bridge.ok_or_else(|| missing("bridge"))?,
+                rejoin_after_bps: rejoin.ok_or_else(|| missing("rejoin"))?,
+            },
             "exhaust" => FaultKind::ChainExhaust {
                 intervals: at.ok_or_else(|| missing("at"))?,
             },
@@ -364,6 +520,7 @@ impl FromStr for FuzzCase {
         let mut m = None;
         let mut delta = None;
         let mut plan_seed = None;
+        let mut mesh = None;
         let mut events = Vec::new();
         for token in s.split_whitespace() {
             if token.contains('@') {
@@ -378,6 +535,7 @@ impl FromStr for FuzzCase {
                 "m" => m = Some(parse_num(k, v)?),
                 "delta" => delta = Some(parse_num(k, v)?),
                 "plan" => plan_seed = Some(parse_num(k, v)?),
+                "mesh" => mesh = Some(v.parse::<MeshSpec>()?),
                 _ => return Err(SpecError(format!("unknown case dim `{k}`"))),
             }
         }
@@ -388,6 +546,7 @@ impl FromStr for FuzzCase {
             seed: seed.ok_or_else(|| need("seed"))?,
             m: m.ok_or_else(|| need("m"))?,
             guard_fine_us: delta.ok_or_else(|| need("delta"))?,
+            mesh,
             plan: FaultPlan {
                 seed: plan_seed.ok_or_else(|| need("plan"))?,
                 events,
@@ -456,6 +615,22 @@ mod tests {
                 kind: FaultKind::DisclosureLoss { p: 0.9 },
             },
             FaultEvent {
+                start_bp: 262,
+                end_bp: 262,
+                kind: FaultKind::CrashDomain {
+                    domain: 1,
+                    rejoin_after_bps: Some(40),
+                },
+            },
+            FaultEvent {
+                start_bp: 270,
+                end_bp: 270,
+                kind: FaultKind::KillBridge {
+                    bridge: 0,
+                    rejoin_after_bps: None,
+                },
+            },
+            FaultEvent {
                 start_bp: 280,
                 end_bp: 300,
                 kind: FaultKind::ChainExhaust { intervals: 280 },
@@ -492,6 +667,60 @@ mod tests {
             "n=8 dur=x seed=1 m=4 delta=300 plan=0",                // bad number
         ] {
             assert!(bad.parse::<FuzzCase>().is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn mesh_dims_round_trip_and_materialize() {
+        for mesh in [
+            MeshSpec::Line,
+            MeshSpec::Ring,
+            MeshSpec::Rgg {
+                side: 4.5,
+                range: 1.25,
+            },
+            MeshSpec::Bridged {
+                domains: 2,
+                cols: 3,
+                rows: 2,
+            },
+        ] {
+            let mut case = FuzzCase::base(9, 20.0, 3);
+            case.mesh = Some(mesh);
+            let spec = case.to_string();
+            let parsed: FuzzCase = spec.parse().expect("mesh spec parses");
+            assert_eq!(parsed, case, "round-trip mismatch for `{spec}`");
+        }
+        // Bridged overrides n with the derived station count (2·3·2 + 1).
+        let mut case = FuzzCase::base(9, 20.0, 3);
+        case.mesh = Some(MeshSpec::Bridged {
+            domains: 2,
+            cols: 3,
+            rows: 2,
+        });
+        let cfg = case.scenario();
+        assert_eq!(cfg.n_nodes, 13);
+        assert!(matches!(
+            cfg.topology,
+            Some(TopologySpec::Bridged {
+                domains: 2,
+                cols: 3,
+                rows: 2
+            })
+        ));
+        // Non-derived meshes keep the case's n.
+        let mut case = FuzzCase::base(9, 20.0, 3);
+        case.mesh = Some(MeshSpec::Ring);
+        assert_eq!(case.scenario().n_nodes, 9);
+        // Malformed mesh tokens are rejected.
+        for bad in [
+            "mesh=hex",
+            "mesh=rgg:4.5",
+            "mesh=bridged:2:3:2:9",
+            "mesh=x=y",
+        ] {
+            let spec = format!("n=8 dur=20 seed=1 m=4 delta=300 plan=0 {bad}");
+            assert!(spec.parse::<FuzzCase>().is_err(), "accepted `{bad}`");
         }
     }
 

@@ -10,7 +10,8 @@
 //! minimum that still fails — and, being a plain [`FuzzCase`], replays from
 //! its one-line spec.
 
-use crate::plan::{FaultKind, FuzzCase};
+use crate::fuzz::retarget_nodes;
+use crate::plan::{FaultKind, FuzzCase, MeshSpec};
 
 /// Smallest network the shrinker will try.
 const MIN_NODES: u32 = 4;
@@ -90,6 +91,7 @@ pub fn shrink<F: FnMut(&FuzzCase) -> bool>(mut case: FuzzCase, mut still_fails: 
         if case.n > MIN_NODES {
             let mut cand = case.clone();
             cand.n = (case.n / 2).max(MIN_NODES);
+            retarget(&mut cand);
             if still_fails(&cand) {
                 case = cand;
                 progress = true;
@@ -107,9 +109,61 @@ pub fn shrink<F: FnMut(&FuzzCase) -> bool>(mut case: FuzzCase, mut still_fails: 
             }
         }
 
+        // Pass 5: shrink the topology dimension — first try dropping the
+        // mesh entirely (a single-hop reproducer is the simplest of all),
+        // then walk bridged dimensions toward the smallest failing graph
+        // (fewest domains, then thinnest islands).
+        if case.mesh.is_some() {
+            let mut cand = case.clone();
+            cand.mesh = None;
+            retarget(&mut cand);
+            if still_fails(&cand) {
+                case = cand;
+                progress = true;
+            }
+        }
+        if let Some(MeshSpec::Bridged {
+            domains,
+            cols,
+            rows,
+        }) = case.mesh
+        {
+            let smaller = [
+                (domains - 1, cols, rows),
+                (domains, cols - 1, rows),
+                (domains, cols, rows - 1),
+            ];
+            for (d, c, r) in smaller {
+                if d < 2 || c < 1 || r < 1 {
+                    continue;
+                }
+                let mut cand = case.clone();
+                cand.mesh = Some(MeshSpec::Bridged {
+                    domains: d,
+                    cols: c,
+                    rows: r,
+                });
+                retarget(&mut cand);
+                if still_fails(&cand) {
+                    case = cand;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+
         if !progress {
             return case;
         }
+    }
+}
+
+/// Re-aim node-targeted faults into the candidate's actual station range
+/// after a dimension change (the engine indexes stations directly).
+fn retarget(cand: &mut FuzzCase) {
+    let n = cand.scenario().n_nodes;
+    for ev in &mut cand.plan.events {
+        retarget_nodes(&mut ev.kind, n);
     }
 }
 
@@ -171,6 +225,57 @@ mod tests {
         assert_eq!(small.plan.events[0].start_bp, small.plan.events[0].end_bp);
         assert_eq!(small.n, MIN_NODES);
         assert_eq!(small.duration_s, MIN_DURATION_S);
+    }
+
+    #[test]
+    fn mesh_dimension_shrinks_toward_smallest_failing_graph() {
+        // A failure that needs *some* bridged mesh: the mesh can't be
+        // dropped, so the shrinker must walk the dimensions down instead.
+        let mut case = FuzzCase::base(16, 40.0, 1);
+        case.mesh = Some(MeshSpec::Bridged {
+            domains: 3,
+            cols: 3,
+            rows: 2,
+        });
+        case.plan.events = vec![crate::plan::FaultEvent {
+            start_bp: 60,
+            end_bp: 60,
+            kind: FaultKind::CrashDomain {
+                domain: 1,
+                rejoin_after_bps: None,
+            },
+        }];
+        let small = shrink(case, |c| {
+            matches!(c.mesh, Some(MeshSpec::Bridged { .. }))
+                && c.plan
+                    .events
+                    .iter()
+                    .any(|ev| matches!(ev.kind, FaultKind::CrashDomain { .. }))
+        });
+        assert_eq!(
+            small.mesh,
+            Some(MeshSpec::Bridged {
+                domains: 2,
+                cols: 1,
+                rows: 1,
+            }),
+            "bridged dims walk to the smallest graph"
+        );
+        // A failure that doesn't need the mesh sheds it entirely.
+        let mut case = FuzzCase::base(8, 20.0, 1);
+        case.mesh = Some(MeshSpec::Ring);
+        case.plan.events = vec![crate::plan::FaultEvent {
+            start_bp: 10,
+            end_bp: 10,
+            kind: FaultKind::Jam,
+        }];
+        let small = shrink(case, |c| {
+            c.plan
+                .events
+                .iter()
+                .any(|ev| matches!(ev.kind, FaultKind::Jam))
+        });
+        assert_eq!(small.mesh, None, "irrelevant mesh dimension is dropped");
     }
 
     #[test]

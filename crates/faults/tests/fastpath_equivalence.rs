@@ -28,7 +28,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use sstsp::scenario::TopologySpec;
 use sstsp::{Network, ProtocolKind, RunResult, ScenarioConfig};
-use sstsp_faults::fuzz::random_case;
+use sstsp_faults::fuzz::{random_case, random_mesh_case};
 use sstsp_faults::run_case;
 
 /// Run `f` with the fast path forced on (env cleared) or off (env set).
@@ -92,6 +92,10 @@ fn assert_identical(fast: &RunResult, slow: &RunResult, name: &str) {
         "{name}: final_reference"
     );
     assert_eq!(fast.hop_profile, slow.hop_profile, "{name}: hop_profile");
+    assert_eq!(
+        fast.domain_report, slow.domain_report,
+        "{name}: domain_report"
+    );
 }
 
 fn compare_plain(cfg: &ScenarioConfig, name: &str) {
@@ -151,11 +155,89 @@ fn fastpath_and_legacy_runs_are_bit_identical() {
     };
     let fast_snap = snap_for(true);
     let slow_snap = snap_for(false);
-    assert_eq!(fast_snap.counters, slow_snap.counters, "telemetry counters");
-    assert_eq!(fast_snap.gauges, slow_snap.gauges, "telemetry gauges");
+    // The `engine.path.*` counters are the one *intended* divergence between
+    // the two settings; everything else must match exactly.
+    let sans_path = |snap: &sstsp_telemetry::Snapshot| {
+        let mut c = snap.counters.clone();
+        c.retain(|k, _| !k.starts_with("engine.path."));
+        c
+    };
     assert_eq!(
-        fast_snap.render_text(),
-        slow_snap.render_text(),
+        sans_path(&fast_snap),
+        sans_path(&slow_snap),
+        "telemetry counters"
+    );
+    assert_eq!(fast_snap.gauges, slow_snap.gauges, "telemetry gauges");
+    let render_sans_path = |snap: &sstsp_telemetry::Snapshot| {
+        snap.render_text()
+            .lines()
+            .filter(|l| !l.contains("engine.path."))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        render_sans_path(&fast_snap),
+        render_sans_path(&slow_snap),
         "telemetry distributions"
     );
+    // The single-hop, unhooked run above IS the fast-path regime: prove the
+    // path counter says so when the switch is clear, and flips when set.
+    assert_eq!(fast_snap.counter("engine.path.fast"), 1, "fast-path taken");
+    assert_eq!(fast_snap.counter("engine.path.slow"), 0);
+    assert_eq!(slow_snap.counter("engine.path.fast"), 0);
+    assert_eq!(slow_snap.counter("engine.path.slow"), 1, "switch honored");
+
+    // --- 4. Mesh topologies --------------------------------------------
+    // A topology self-disables the fast path, so the env switch must be
+    // inert on meshes — and the run must be bit-identical either way,
+    // including the per-domain report.
+    let mut mesh = ScenarioConfig::new(ProtocolKind::Sstsp, 13, 12.0, 7);
+    mesh.topology = Some(TopologySpec::Bridged {
+        domains: 2,
+        cols: 3,
+        rows: 2,
+    });
+    compare_plain(&mesh, "bridged-mesh golden shape");
+
+    // Telemetry proof that the slow path actually ran under topology with
+    // the fast-path switch in its default (enabled) position.
+    let mesh_snap = {
+        let _guard = sstsp_telemetry::recording();
+        with_fastpath(true, || {
+            std::hint::black_box(Network::build(&mesh).run());
+        });
+        sstsp_telemetry::snapshot()
+    };
+    assert_eq!(
+        mesh_snap.counter("engine.path.fast"),
+        0,
+        "mesh run must not take the fast path"
+    );
+    assert_eq!(
+        mesh_snap.counter("engine.path.slow"),
+        1,
+        "mesh run takes the slow path exactly once"
+    );
+
+    // Fuzzer-generated mesh cases (fresh RNG stream: the seed-2006 stream
+    // above must stay byte-stable), plain and harnessed.
+    let mut mesh_rng = ChaCha12Rng::seed_from_u64(2606);
+    for i in 0..3 {
+        let case = random_mesh_case(&mut mesh_rng, 4);
+        let scenario = case.scenario();
+        compare_plain(&scenario, &format!("mesh fuzz scenario {i} ({case})"));
+
+        let fast = with_fastpath(true, || run_case(&case));
+        let slow = with_fastpath(false, || run_case(&case));
+        assert_identical(
+            &fast.result,
+            &slow.result,
+            &format!("mesh fuzz case {i} harnessed ({case})"),
+        );
+        assert_eq!(
+            fast.violations.len(),
+            slow.violations.len(),
+            "mesh fuzz case {i}: violation counts"
+        );
+    }
 }

@@ -26,6 +26,7 @@ fn fuzz_transcript() -> String {
         iterations: 4,
         master_seed: 99,
         max_events: 3,
+        mesh: false,
     };
     let mut out = String::new();
     let report = fuzz(&cfg, |line| {

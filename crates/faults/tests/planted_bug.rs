@@ -93,6 +93,7 @@ fn planted_bug_is_caught_flagged_shrunk_and_replayable() {
             iterations: 60,
             master_seed: 2006,
             max_events: 4,
+            mesh: false,
         },
         |_| {},
     );

@@ -15,6 +15,7 @@ use sstsp_crypto::chain::chain_step_n;
 use sstsp_crypto::{BeaconAuth, ChainElement};
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 pub use rand_chacha;
 
@@ -154,6 +155,55 @@ impl AnchorRegistry {
     }
 }
 
+/// A node's place in a multi-collision-domain mesh, distributed
+/// out-of-band by the engine after node construction (deployment-time
+/// configuration, like the anchor registry — it never rides in beacons,
+/// whose authenticated bytes must not change shape between single- and
+/// multi-domain runs).
+///
+/// Receivers use [`domain_of`](Self::domain_of) to classify a beacon's
+/// sender as same- or cross-domain; bridge nodes are exempt from domain
+/// stickiness (they attach to whichever adjacent domain currently wins
+/// the lowest-root rule and relay its time).
+#[derive(Debug, Clone)]
+pub struct MeshRole {
+    /// The domain this node belongs to.
+    pub domain: u32,
+    /// Total number of domains in the mesh (references stagger their fixed
+    /// beacon slots by domain index so a bridge can decode both).
+    pub num_domains: u32,
+    /// `Some(i)` iff this node is a gateway between domains, where `i` is
+    /// its index in [`bridges`](Self::bridges) (bridges stagger their relay
+    /// slots by this index).
+    pub bridge_index: Option<u32>,
+    /// Station id → domain index, shared across the network's nodes.
+    pub domain_of: Arc<Vec<u32>>,
+    /// Sorted gateway station ids, shared across the network's nodes.
+    pub bridges: Arc<Vec<u32>>,
+}
+
+impl MeshRole {
+    /// Whether this node is a gateway between domains.
+    pub fn is_bridge(&self) -> bool {
+        self.bridge_index.is_some()
+    }
+
+    /// The domain of station `id`.
+    pub fn domain_of(&self, id: NodeId) -> u32 {
+        self.domain_of[id as usize]
+    }
+
+    /// Whether station `id` is in this node's own domain.
+    pub fn same_domain(&self, id: NodeId) -> bool {
+        self.domain_of(id) == self.domain
+    }
+
+    /// Whether station `id` is a gateway.
+    pub fn is_bridge_node(&self, id: NodeId) -> bool {
+        self.bridges.binary_search(&id).is_ok()
+    }
+}
+
 /// Attack-recovery policy — the paper's "future work" (Sec. 3.4): on
 /// detecting malicious beacons, raise an alert and optionally restart the
 /// synchronization procedure.
@@ -215,6 +265,15 @@ pub struct ProtocolConfig {
     /// Beacon airtime in slots (needed to stagger relay waves so they do
     /// not overlap the upstream transmission).
     pub beacon_airtime_slots: u32,
+    /// SSTSP mesh extension: per-collision-domain reference election. Each
+    /// domain elects its fastest in-range station; non-bridge members only
+    /// discipline to same-domain sources, bridges relay the winning
+    /// domain's time across, and a reference hearing a lower root through a
+    /// bridge *subordinates* (keeps its role and slot, disciplines toward
+    /// the relayed time) instead of abdicating. Enabled by the engine for
+    /// explicitly multi-domain topologies; requires [`MeshRole`]s to have
+    /// been distributed.
+    pub domain_election: bool,
     /// SSTSP: probability that an election-eligible node actually joins the
     /// contention in a given BP.
     ///
@@ -250,6 +309,7 @@ impl ProtocolConfig {
             recovery: None,
             multihop_relay: false,
             beacon_airtime_slots: 7,
+            domain_election: false,
             contend_prob: 0.05,
         }
     }
@@ -344,6 +404,12 @@ pub trait SyncProtocol {
     fn chain_seed(&self) -> Option<ChainElement> {
         None
     }
+
+    /// Deployment-time mesh configuration: the node's collision domain,
+    /// bridge flag, and the shared station→domain map. Called once by the
+    /// engine after construction for multi-domain topologies; protocols
+    /// without per-domain behavior ignore it.
+    fn set_mesh_role(&mut self, _role: MeshRole) {}
 
     /// Called at the start of each beacon period: what does this node do in
     /// the beacon generation window?

@@ -34,8 +34,8 @@
 //! only then pay for hash verification — same accept/reject set.)
 
 use crate::api::{
-    BeaconIntent, BeaconPayload, HasAdjustedClock, HotState, NodeCtx, NodeId, ProtocolConfig,
-    ReceivedBeacon, SyncProtocol,
+    BeaconIntent, BeaconPayload, HasAdjustedClock, HotState, MeshRole, NodeCtx, NodeId,
+    ProtocolConfig, ReceivedBeacon, SyncProtocol,
 };
 use clocks::{AdjustedClock, SyncSample};
 use mac80211::frame::BeaconBody;
@@ -177,6 +177,13 @@ pub struct SstspNode {
     rejections_this_bp: u32,
     /// Per-BP rejection history over the recovery window.
     rejection_window: VecDeque<u32>,
+    /// Deployment-time mesh configuration (domain, gateway flag, shared
+    /// station→domain map); `None` outside multi-domain topologies.
+    mesh_role: Option<MeshRole>,
+    /// Subordinate-reference upkeep: consecutive BPs without an accepted
+    /// beacon from the gateway upstream. Past the election threshold the
+    /// subordinate reverts to sovereign rule of its own domain.
+    sub_missed: u32,
     /// Diagnostics.
     pub stats: SstspStats,
 }
@@ -216,6 +223,8 @@ impl SstspNode {
             desync_bps: 0,
             rejections_this_bp: 0,
             rejection_window: VecDeque::new(),
+            mesh_role: None,
+            sub_missed: 0,
             stats: SstspStats::default(),
         }
     }
@@ -274,6 +283,54 @@ impl SstspNode {
         } else {
             self.missed_bps
         }
+    }
+
+    /// Whether per-domain election semantics apply to this node: the
+    /// scenario enables them *and* a mesh role was distributed.
+    fn domain_mode(&self, config: &ProtocolConfig) -> bool {
+        config.domain_election && self.mesh_role.is_some()
+    }
+
+    /// A *subordinate* reference holds its domain's reference role (slot,
+    /// beacons, election identity) while its clock descends from a foreign
+    /// root relayed through a gateway. Detected as a reference whose
+    /// timing-domain root is not itself; outside domain mode this is never
+    /// true ([`Self::become_reference`] always roots at the own id and the
+    /// adoption path always clears the role first).
+    fn is_subordinate(&self, id: NodeId) -> bool {
+        self.is_reference && self.domain_root.is_some() && self.domain_root != Some(id)
+    }
+
+    /// The fixed beacon slot this node uses while holding the reference
+    /// role. Single-domain operation: slot 0 (the paper's rule). Domain
+    /// mode staggers references by one beacon airtime per domain index so
+    /// a gateway in range of two references can decode both.
+    fn reference_slot(&self, config: &ProtocolConfig) -> u32 {
+        match self.mesh_role.as_ref().filter(|_| config.domain_election) {
+            Some(role) => role.domain * (config.beacon_airtime_slots + 1),
+            None => 0,
+        }
+    }
+
+    /// The deterministic candidacy slot a domain member beacons in when
+    /// its domain has fallen silent: staggered past every reference slot
+    /// — so a live reference's earlier transmission always cancels a
+    /// candidate, and candidacy can never starve a working reference —
+    /// and unique per station, so the lowest eligible id transmits first
+    /// and every other candidate cancels on hearing it. Elections in
+    /// domain mode are therefore collision-free and draw no randomness.
+    fn candidate_slot(role: &MeshRole, id: NodeId, config: &ProtocolConfig) -> u32 {
+        (role.num_domains + id) * (config.beacon_airtime_slots + 1)
+    }
+
+    /// The gateway relay slot in domain mode: staggered past every
+    /// reference *and* candidate slot (a relaying gateway must never
+    /// cancel a silent domain's election), and per-gateway so two
+    /// gateways sharing an island never collide deterministically.
+    fn bridge_relay_slot(role: &MeshRole, config: &ProtocolConfig) -> u32 {
+        let b = role.bridge_index.unwrap_or(0);
+        let stations = role.domain_of.len() as u32;
+        (role.num_domains + stations + b) * (config.beacon_airtime_slots + 1)
     }
 
     /// The µTESLA interval for the node's current adjusted time, clamped to
@@ -372,6 +429,7 @@ impl SstspNode {
         self.ref_src = None;
         self.domain_root = None;
         self.my_hop = u32::MAX;
+        self.sub_missed = 0;
         self.samples.clear();
         self.pending.clear();
     }
@@ -383,13 +441,40 @@ impl SstspNode {
         let src = body.src;
         self.rx_secured_this_bp = self.rx_secured_this_bp.saturating_add(1);
 
+        // Per-domain election: receivers classify senders through the
+        // deployment-time mesh role (never through beacon bytes, which are
+        // identical to single-domain operation). Ordinary members listen
+        // only to their own domain's non-gateway stations — a gateway's
+        // relays exist to couple *references*, not to discipline members,
+        // and must not count as evidence the domain's own reference is
+        // alive. A reference additionally accepts gateway relays (its
+        // subordination path). Gateways themselves listen to everything
+        // and attach by the usual lowest-root rule.
+        if let Some(role) = self
+            .mesh_role
+            .as_ref()
+            .filter(|_| ctx.config.domain_election)
+        {
+            if !role.is_bridge() {
+                let src_bridge = role.is_bridge_node(src);
+                let allowed = if self.is_reference {
+                    src_bridge || role.same_domain(src)
+                } else {
+                    !src_bridge && role.same_domain(src)
+                };
+                if !allowed {
+                    return;
+                }
+            }
+        }
+
         // Domain priority: a beacon whose timing-domain root has a lower
         // id than ours wins (deterministic merge of concurrent domains —
         // multi-hop partitions elect independent references that must
         // converge to one). A takeover beacon is evaluated under the loose
         // guard (the domains' virtual clocks legitimately differ) but
         // still under full µTESLA authentication.
-        let my_root = if self.is_reference {
+        let my_root = if self.is_reference && !self.is_subordinate(ctx.id) {
             ctx.id
         } else {
             self.domain_root.unwrap_or(u32::MAX)
@@ -441,8 +526,12 @@ impl SstspNode {
             // follow-cycle whose subtree detaches and free-runs.
             return;
         }
-        // A reference only yields to a strictly lower root id.
-        if self.is_reference && !takeover {
+        // A reference only yields to a strictly lower root id — except
+        // that a subordinate reference keeps accepting its gateway
+        // upstream's equal-root beacons: they are its discipline channel.
+        let from_upstream =
+            self.is_subordinate(ctx.id) && self.ref_src == Some(src) && body.root == my_root;
+        if self.is_reference && !takeover && !from_upstream {
             return;
         }
 
@@ -529,8 +618,27 @@ impl SstspNode {
                     // Valid beacon from a new reference: adopt it. If we
                     // held the role ourselves, someone displaced us (we can
                     // only hear them if our own beacon did not go out).
+                    // Domain-mode exception: a reference adopting a lower
+                    // root relayed by a gateway *subordinates* — it keeps
+                    // the reference role and its beacon slot for its own
+                    // domain while its clock (and the root it propagates)
+                    // descend from the gateway upstream. Each domain thus
+                    // keeps a distinct elected reference even after the
+                    // roots merge.
                     self.stash_verifier();
-                    self.is_reference = false;
+                    let subordinates = takeover
+                        && self.is_reference
+                        && self.domain_mode(ctx.config)
+                        && self
+                            .mesh_role
+                            .as_ref()
+                            .is_some_and(|r| !r.is_bridge() && r.is_bridge_node(src));
+                    if subordinates {
+                        self.sub_missed = 0;
+                        telemetry::counter_add("sstsp.subordinate", 1);
+                    } else {
+                        self.is_reference = false;
+                    }
                     self.ref_src = Some(src);
                     self.domain_root = Some(body.root);
                     self.my_hop = body.hop.saturating_add(1);
@@ -573,8 +681,15 @@ impl SstspNode {
         telemetry::counter_add("sstsp.accept", 1);
         self.saw_beacon = true;
         self.missed_bps = 0;
+        self.sub_missed = 0;
         self.upstream_rejects = 0;
         if !self.is_reference {
+            self.domain_root = Some(body.root);
+            self.my_hop = body.hop.saturating_add(1);
+        } else if self.is_subordinate(ctx.id) && self.ref_src == Some(src) {
+            // Upstream root changes propagate through subordinates: if the
+            // far side of the mesh re-merged under a different lowest id,
+            // the gateway's next relay re-roots this domain too.
             self.domain_root = Some(body.root);
             self.my_hop = body.hop.saturating_add(1);
         }
@@ -692,6 +807,10 @@ impl SyncProtocol for SstspNode {
         self.signer.as_ref().map(|s| s.seed()).or(self.chain_seed)
     }
 
+    fn set_mesh_role(&mut self, role: MeshRole) {
+        self.mesh_role = Some(role);
+    }
+
     fn intent(&mut self, ctx: &mut NodeCtx<'_>) -> BeaconIntent {
         if !self.present {
             return BeaconIntent::Silent;
@@ -700,43 +819,81 @@ impl SyncProtocol for SstspNode {
             Phase::Coarse { .. } => BeaconIntent::Silent,
             Phase::Fine => {
                 if self.is_reference {
-                    BeaconIntent::FixedSlot(0)
+                    BeaconIntent::FixedSlot(self.reference_slot(ctx.config))
                 } else if ctx.config.multihop_relay
                     && self.synchronized
                     && self.ref_src.is_some()
                     && self.my_hop != u32::MAX
                     && self.missed_bps <= ctx.config.l
                 {
-                    // Multi-hop extension: forward the timing wave at a
-                    // slot staggered by hop distance, so hop h's relays do
-                    // not overlap hop h-1's transmission. Three waves fit
-                    // the window; deeper hops pipeline (they forward their
-                    // own disciplined clock, so one-BP-old discipline is
-                    // fine). Participation is probabilistic and
-                    // density-adaptive: two same-wave relays sharing a
-                    // receiver would otherwise collide *deterministically*
-                    // every BP and partition the network into permanent
-                    // timing domains, and dense neighborhoods need fewer
-                    // active relays.
-                    let p = (3.0 / self.last_rx_secured.max(1) as f64).clamp(0.3, 1.0);
-                    if ctx.rng.random_bool(p) {
-                        let gap = ctx.config.beacon_airtime_slots + 1;
-                        let wave = 1 + ((self.my_hop.max(1) - 1) % 3);
-                        BeaconIntent::RelayAfterRx(wave * gap)
+                    if let Some(role) = self
+                        .mesh_role
+                        .as_ref()
+                        .filter(|_| ctx.config.domain_election)
+                    {
+                        // Domain mode is fully deterministic: a gateway
+                        // relays at its reserved slot (staggered past every
+                        // reference slot) and an ordinary member never
+                        // relays — its domain's own reference covers the
+                        // whole clique. No randomness is drawn here.
+                        if role.is_bridge() {
+                            BeaconIntent::RelayAfterRx(Self::bridge_relay_slot(role, ctx.config))
+                        } else {
+                            BeaconIntent::Silent
+                        }
                     } else {
-                        BeaconIntent::Silent
+                        // Multi-hop extension: forward the timing wave at a
+                        // slot staggered by hop distance, so hop h's relays
+                        // do not overlap hop h-1's transmission. Three waves
+                        // fit the window; deeper hops pipeline (they forward
+                        // their own disciplined clock, so one-BP-old
+                        // discipline is fine). Participation is
+                        // probabilistic and density-adaptive: two same-wave
+                        // relays sharing a receiver would otherwise collide
+                        // *deterministically* every BP and partition the
+                        // network into permanent timing domains, and dense
+                        // neighborhoods need fewer active relays.
+                        let p = (3.0 / self.last_rx_secured.max(1) as f64).clamp(0.3, 1.0);
+                        if ctx.rng.random_bool(p) {
+                            let gap = ctx.config.beacon_airtime_slots + 1;
+                            let wave = 1 + ((self.my_hop.max(1) - 1) % 3);
+                            BeaconIntent::RelayAfterRx(wave * gap)
+                        } else {
+                            BeaconIntent::Silent
+                        }
                     }
                 } else if self.synchronized
                     && self.election_counter(ctx.config) > self.election_threshold(ctx.config)
                 {
-                    // Election-eligible: contend with ramping probability
-                    // (see ProtocolConfig::contend_prob for why not always).
-                    let ramp = (self.eligible_bps / 10).min(6);
-                    let p = (ctx.config.contend_prob * f64::from(1u32 << ramp)).min(1.0);
-                    if p >= 1.0 || ctx.rng.random_bool(p) {
-                        BeaconIntent::Contend
-                    } else {
-                        BeaconIntent::Silent
+                    match self
+                        .mesh_role
+                        .as_ref()
+                        .filter(|_| ctx.config.domain_election)
+                    {
+                        // Gateways couple domains; they never run for a
+                        // domain's reference role.
+                        Some(role) if role.is_bridge() => BeaconIntent::Silent,
+                        // Domain-mode candidacy is deterministic (see
+                        // [`Self::candidate_slot`]): random contention
+                        // slots could land *before* the sitting
+                        // reference's fixed slot, cancel its beacon every
+                        // BP and starve it into step-down — a permanent
+                        // election thrash.
+                        Some(role) => {
+                            BeaconIntent::FixedSlot(Self::candidate_slot(role, ctx.id, ctx.config))
+                        }
+                        None => {
+                            // Election-eligible: contend with ramping
+                            // probability (see ProtocolConfig::contend_prob
+                            // for why not always).
+                            let ramp = (self.eligible_bps / 10).min(6);
+                            let p = (ctx.config.contend_prob * f64::from(1u32 << ramp)).min(1.0);
+                            if p >= 1.0 || ctx.rng.random_bool(p) {
+                                BeaconIntent::Contend
+                            } else {
+                                BeaconIntent::Silent
+                            }
+                        }
                     }
                 } else {
                     BeaconIntent::Silent
@@ -765,9 +922,12 @@ impl SyncProtocol for SstspNode {
             seq: self.seq,
             timestamp_us: c.max(0.0) as u64,
             root: self.domain_root.unwrap_or(ctx.id),
-            hop: if self.is_reference {
+            hop: if self.is_reference && !self.is_subordinate(ctx.id) {
                 0
             } else {
+                // Subordinate references advertise their true distance from
+                // the foreign root, so downstream gateways keep merging
+                // toward it instead of treating this domain as a new root.
                 self.my_hop.saturating_add(0)
             },
         };
@@ -865,6 +1025,29 @@ impl SyncProtocol for SstspNode {
                     // slot 0. Relinquish and re-contend.
                     self.step_down();
                 }
+                if self.is_subordinate(ctx.id) {
+                    // Subordinate upkeep: the gateway upstream must keep
+                    // proving the foreign root is alive. Past the election
+                    // threshold of upstream silence this reference reverts
+                    // to sovereign rule of its own domain (same patience as
+                    // an election, so transient gateway loss never forks
+                    // the time base).
+                    if self.saw_beacon {
+                        self.sub_missed = 0;
+                    } else {
+                        self.sub_missed = self.sub_missed.saturating_add(1);
+                        if self.sub_missed > self.election_threshold(ctx.config) {
+                            self.stash_verifier();
+                            self.ref_src = Some(ctx.id);
+                            self.domain_root = Some(ctx.id);
+                            self.my_hop = 0;
+                            self.sub_missed = 0;
+                            self.samples.clear();
+                            self.pending.clear();
+                            telemetry::counter_add("sstsp.sovereign_revert", 1);
+                        }
+                    }
+                }
                 self.run_recovery_detection(ctx);
             }
         }
@@ -944,10 +1127,31 @@ impl SyncProtocol for SstspNode {
                         && self.missed_bps <= config.l;
                     let election_contender = self.synchronized
                         && self.election_counter(config) > self.election_threshold(config);
+                    let domain_role = self.mesh_role.as_ref().filter(|_| config.domain_election);
                     if self.is_reference {
-                        Some(BeaconIntent::FixedSlot(0))
-                    } else if relay_participant || election_contender {
-                        None
+                        Some(BeaconIntent::FixedSlot(self.reference_slot(config)))
+                    } else if relay_participant {
+                        // Domain-mode relays are deterministic (see
+                        // `intent`): mirror them exactly. Outside domain
+                        // mode participation is probabilistic — defer.
+                        domain_role.map(|role| {
+                            if role.is_bridge() {
+                                BeaconIntent::RelayAfterRx(Self::bridge_relay_slot(role, config))
+                            } else {
+                                BeaconIntent::Silent
+                            }
+                        })
+                    } else if election_contender {
+                        // Domain-mode gateways never contend. Domain
+                        // candidacy is deterministic but needs the station
+                        // id (not known here), and single-hop contention
+                        // draws randomness — defer both. (Moot in
+                        // practice: the fast path never runs under a
+                        // topology, and mesh roles exist only there.)
+                        match domain_role {
+                            Some(role) if role.is_bridge() => Some(BeaconIntent::Silent),
+                            _ => None,
+                        }
                     } else {
                         Some(BeaconIntent::Silent)
                     }

@@ -104,6 +104,18 @@ pub enum TraceEvent {
         /// New holder (`None` = role vacant).
         to: Option<u32>,
     },
+    /// Mesh runs: the station holding one collision domain's reference
+    /// role changed (the per-domain election transcript).
+    DomainRefChange {
+        /// Beacon period index.
+        bp: u64,
+        /// Collision-domain index.
+        domain: u32,
+        /// Previous holder (`None` = role vacant).
+        from: Option<u32>,
+        /// New holder (`None` = role vacant).
+        to: Option<u32>,
+    },
     /// Per-BP summary after metrics sampling.
     BpEnd {
         /// Beacon period index.
@@ -225,6 +237,16 @@ impl TraceEvent {
                 opt_u32(*from),
                 opt_u32(*to)
             ),
+            TraceEvent::DomainRefChange {
+                bp,
+                domain,
+                from,
+                to,
+            } => format!(
+                "{{\"ev\":\"domain_ref_change\",\"bp\":{bp},\"domain\":{domain},\"from\":{},\"to\":{}}}",
+                opt_u32(*from),
+                opt_u32(*to)
+            ),
             TraceEvent::BpEnd {
                 bp,
                 spread_us,
@@ -313,6 +335,16 @@ mod tests {
         assert_eq!(
             ev.to_jsonl(),
             "{\"ev\":\"bp_end\",\"bp\":2,\"spread_us\":null,\"reference\":null,\"disturbed\":false}"
+        );
+        let ev = TraceEvent::DomainRefChange {
+            bp: 14,
+            domain: 1,
+            from: None,
+            to: Some(8),
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            "{\"ev\":\"domain_ref_change\",\"bp\":14,\"domain\":1,\"from\":null,\"to\":8}"
         );
     }
 

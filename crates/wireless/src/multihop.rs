@@ -16,7 +16,7 @@
 //! With the full graph this resolution degenerates exactly to the
 //! single-hop rules (verified by a test below).
 
-use crate::topology::Topology;
+use crate::topology::{DomainDecomposition, Topology};
 use serde::{Deserialize, Serialize};
 
 /// A station's declared behaviour in a multi-hop beacon window.
@@ -109,27 +109,122 @@ pub fn resolve_multihop(
     // Deliveries.
     let mut deliveries = Vec::new();
     for rx in 0..topology.len() {
-        let own_tx: Option<u32> = txs.iter().find(|&&(u, _)| u == rx).map(|&(_, s)| s);
-        for &(tx, s) in &txs {
-            if tx == rx || !topology.are_neighbors(rx, tx) {
+        deliveries_for_rx(topology, rx, &txs, airtime_slots, &mut deliveries);
+    }
+    deliveries.sort_by_key(|d| (d.slot, d.rx));
+
+    MhOutcome {
+        transmissions: txs,
+        deliveries,
+    }
+}
+
+/// Apply rule 3 (decode iff heard, not half-duplex-blocked, not garbled)
+/// for one receiver against a decided-transmission list, appending any
+/// decodes to `out`. `txs` must contain every transmission audible at
+/// `rx` (extra inaudible entries are harmless — each check is gated on
+/// `are_neighbors`).
+fn deliveries_for_rx(
+    topology: &Topology,
+    rx: u32,
+    txs: &[(u32, u32)],
+    airtime_slots: u32,
+    out: &mut Vec<MhDelivery>,
+) {
+    let own_tx: Option<u32> = txs.iter().find(|&&(u, _)| u == rx).map(|&(_, s)| s);
+    for &(tx, s) in txs {
+        if tx == rx || !topology.are_neighbors(rx, tx) {
+            continue;
+        }
+        // Half-duplex: own transmission overlapping the interval.
+        if let Some(os) = own_tx {
+            if overlaps(s, os, airtime_slots) {
                 continue;
             }
-            // Half-duplex: own transmission overlapping the interval.
-            if let Some(os) = own_tx {
-                if overlaps(s, os, airtime_slots) {
-                    continue;
-                }
-            }
-            // Any other heard transmission overlapping the interval.
-            let garbled = txs.iter().any(|&(v, s2)| {
-                v != tx
-                    && v != rx
-                    && topology.are_neighbors(rx, v)
-                    && overlaps(s, s2, airtime_slots)
-            });
-            if !garbled {
-                deliveries.push(MhDelivery { rx, tx, slot: s });
-            }
+        }
+        // Any other heard transmission overlapping the interval.
+        let garbled = txs.iter().any(|&(v, s2)| {
+            v != tx && v != rx && topology.are_neighbors(rx, v) && overlaps(s, s2, airtime_slots)
+        });
+        if !garbled {
+            out.push(MhDelivery { rx, tx, slot: s });
+        }
+    }
+}
+
+/// Resolve one beacon window per collision domain.
+///
+/// Same decision rules as [`resolve_multihop`], but the work is bucketed
+/// by `decomp`: each decided transmission is published only into the
+/// domains that can hear it (the transmitter's own domain plus every
+/// domain holding one of its neighbors), the carrier-sense checks for a
+/// station consult only its home domain's bucket, and rule 3 runs per
+/// domain over that domain's members against its bucket. Because every
+/// predicate in [`resolve_multihop`] is gated on `are_neighbors`, and a
+/// station's home bucket contains every decided transmission of its
+/// neighbors (a neighbor `u` of `s` always publishes into
+/// `domain_of(s)`), the outcome is **bit-identical to
+/// [`resolve_multihop`] for any partition** — the decomposition only
+/// shrinks the candidate sets, never the audible ones. A differential
+/// proptest pins this.
+///
+/// # Panics
+/// Panics if `decomp` does not cover exactly `topology.len()` stations.
+pub fn resolve_mesh(
+    topology: &Topology,
+    decomp: &DomainDecomposition,
+    attempts: &[MhAttempt],
+    airtime_slots: u32,
+) -> MhOutcome {
+    assert!(airtime_slots > 0, "beacons occupy at least one slot");
+    assert_eq!(
+        decomp.domain_of.len(),
+        topology.len() as usize,
+        "decomposition does not match the topology"
+    );
+    let mut sorted: Vec<MhAttempt> = attempts.to_vec();
+    sorted.sort_by_key(|a| (a.slot, a.station));
+
+    // Global decision order (the output), plus the per-domain audible
+    // buckets the decisions and deliveries actually consult.
+    let mut txs: Vec<(u32, u32)> = Vec::new();
+    let mut by_domain: Vec<Vec<(u32, u32)>> = vec![Vec::new(); decomp.len()];
+    let mut doms_scratch: Vec<u32> = Vec::new();
+
+    for a in &sorted {
+        let home = &by_domain[decomp.domain_of(a.station) as usize];
+        let blocked = if a.relay {
+            home.iter().any(|&(u, s)| {
+                topology.are_neighbors(a.station, u) && s <= a.slot && a.slot < s + airtime_slots
+            })
+        } else {
+            home.iter()
+                .any(|&(u, s)| s < a.slot && topology.are_neighbors(a.station, u))
+        };
+        if blocked {
+            continue;
+        }
+        txs.push((a.station, a.slot));
+        doms_scratch.clear();
+        doms_scratch.push(decomp.domain_of(a.station));
+        doms_scratch.extend(
+            topology
+                .neighbors(a.station)
+                .iter()
+                .map(|&v| decomp.domain_of(v)),
+        );
+        doms_scratch.sort_unstable();
+        doms_scratch.dedup();
+        for &d in &doms_scratch {
+            by_domain[d as usize].push((a.station, a.slot));
+        }
+    }
+
+    let mut deliveries = Vec::new();
+    for (d, members) in decomp.domains.iter().enumerate() {
+        let local = &by_domain[d];
+        for &rx in members {
+            deliveries_for_rx(topology, rx, local, airtime_slots, &mut deliveries);
         }
     }
     deliveries.sort_by_key(|d| (d.slot, d.rx));
@@ -305,5 +400,42 @@ mod tests {
         let mut b = a;
         b.reverse();
         assert_eq!(resolve_multihop(&t, &a, A), resolve_multihop(&t, &b, A));
+    }
+
+    #[test]
+    fn mesh_resolution_matches_global_on_bridged_graph() {
+        let (t, d) = Topology::bridged(2, 3, 2);
+        let attempts = [
+            plain(0, 0),
+            plain(7, 0),
+            relay(12, 8),
+            plain(3, 5),
+            plain(11, 16),
+        ];
+        let global = resolve_multihop(&t, &attempts, A);
+        let mesh = resolve_mesh(&t, &d, &attempts, A);
+        assert_eq!(global, mesh);
+        // Both islands transmit in parallel: spatial reuse across domains.
+        assert!(global.transmissions.contains(&(0, 0)));
+        assert!(global.transmissions.contains(&(7, 0)));
+    }
+
+    #[test]
+    fn mesh_resolution_is_partition_independent() {
+        // Any partition — even a deliberately bad one that splits cliques —
+        // must produce the identical outcome.
+        let t = Topology::grid(3, 3);
+        let attempts = [plain(0, 0), plain(8, 0), relay(4, 9), plain(2, 3)];
+        let global = resolve_multihop(&t, &attempts, A);
+        let per_node = crate::topology::DomainDecomposition::from_partition(
+            (0..9).map(|i| vec![i]).collect(),
+            &t,
+        );
+        let one_domain =
+            crate::topology::DomainDecomposition::from_partition(vec![(0..9).collect()], &t);
+        let cliques = t.clique_domains();
+        assert_eq!(resolve_mesh(&t, &per_node, &attempts, A), global);
+        assert_eq!(resolve_mesh(&t, &one_domain, &attempts, A), global);
+        assert_eq!(resolve_mesh(&t, &cliques, &attempts, A), global);
     }
 }

@@ -73,6 +73,17 @@ impl Topology {
         Self::from_edges(n, &edges)
     }
 
+    /// A ring (cycle) of `n` stations: diameter ⌊n/2⌋, every degree 2.
+    ///
+    /// # Panics
+    /// Panics for `n < 3` — smaller rings degenerate to a line or a
+    /// self-loop.
+    pub fn ring(n: u32) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 stations");
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Self::from_edges(n, &edges)
+    }
+
     /// Unit-disk graph: stations uniform in a `side × side` area, connected
     /// within `range`. Retries until connected (up to 64 attempts).
     ///
@@ -80,7 +91,24 @@ impl Topology {
     /// Panics if no connected placement is found — pick a larger range or
     /// smaller area.
     pub fn random_disk<R: Rng + ?Sized>(n: u32, side: f64, range: f64, rng: &mut R) -> Self {
-        for _ in 0..64 {
+        Self::try_random_disk(n, side, range, rng, 64).unwrap_or_else(|| {
+            panic!("no connected unit-disk placement found for n={n}, side={side}, range={range}")
+        })
+    }
+
+    /// Fallible [`Topology::random_disk`]: draws up to `max_attempts`
+    /// placements and returns the first connected one, or `None` if every
+    /// draw produced a disconnected graph. Disconnected placements are
+    /// *rejected and regenerated*, never returned — callers that get
+    /// `Some` hold a connected graph by construction.
+    pub fn try_random_disk<R: Rng + ?Sized>(
+        n: u32,
+        side: f64,
+        range: f64,
+        rng: &mut R,
+        max_attempts: u32,
+    ) -> Option<Self> {
+        for _ in 0..max_attempts {
             let pos: Vec<(f64, f64)> = (0..n)
                 .map(|_| (rng.random_range(0.0..side), rng.random_range(0.0..side)))
                 .collect();
@@ -96,10 +124,96 @@ impl Topology {
             }
             let t = Self::from_edges(n, &edges);
             if t.is_connected() {
-                return t;
+                return Some(t);
             }
         }
-        panic!("no connected unit-disk placement found for n={n}, side={side}, range={range}");
+        None
+    }
+
+    /// An explicit multi-collision-domain union: `domains` island cells of
+    /// `cols × rows` stations each, joined in a chain by `domains − 1`
+    /// bridge stations appended at the end of the id space.
+    ///
+    /// Island `k` owns ids `[k·cols·rows, (k+1)·cols·rows)`, laid out as a
+    /// `cols × rows` cell whose stations are all in mutual radio range —
+    /// each island is a *true* collision domain (a clique), which is what
+    /// makes the returned decomposition ground truth rather than an
+    /// approximation. Bridge `j` (id `domains·cols·rows + j`) carries a
+    /// longer-range gateway radio and is adjacent to **every** member of
+    /// islands `j` and `j + 1` — whichever station a domain elects as its
+    /// reference, the bridge can hear it and be heard by it. Bridges are
+    /// not adjacent to each other.
+    ///
+    /// Returns the graph together with its ground-truth
+    /// [`DomainDecomposition`] (bridge `j` is assigned to domain `j`).
+    ///
+    /// # Panics
+    /// Panics unless `domains ≥ 2` and each island has at least one
+    /// station.
+    pub fn bridged(domains: u32, cols: u32, rows: u32) -> (Self, DomainDecomposition) {
+        assert!(domains >= 2, "a bridged mesh needs at least two domains");
+        let island = cols * rows;
+        assert!(island >= 1, "each island needs at least one station");
+        let n = domains * island + (domains - 1);
+        let mut edges = Vec::new();
+        for k in 0..domains {
+            let base = k * island;
+            for i in 0..island {
+                for j in (i + 1)..island {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        let bridge_base = domains * island;
+        for j in 0..domains - 1 {
+            let b = bridge_base + j;
+            for k in [j, j + 1] {
+                for i in k * island..(k + 1) * island {
+                    edges.push((b, i));
+                }
+            }
+        }
+        let topo = Self::from_edges(n, &edges);
+        let mut members: Vec<Vec<u32>> = (0..domains)
+            .map(|k| (k * island..(k + 1) * island).collect())
+            .collect();
+        for j in 0..domains - 1 {
+            members[j as usize].push(bridge_base + j);
+        }
+        let decomp = DomainDecomposition::from_partition(members, &topo);
+        (topo, decomp)
+    }
+
+    /// Greedy maximal-clique collision-domain partition.
+    ///
+    /// Scanning stations in id order, each uncovered station seeds a new
+    /// domain and greedily absorbs its uncovered neighbors (in id order)
+    /// that are adjacent to every station already in the domain — so every
+    /// domain is a clique, i.e. a true single-collision-domain cell, and
+    /// every station lands in exactly one domain. Deterministic for a
+    /// given graph.
+    pub fn clique_domains(&self) -> DomainDecomposition {
+        let mut covered = vec![false; self.n as usize];
+        let mut domains: Vec<Vec<u32>> = Vec::new();
+        for seed in 0..self.n {
+            if covered[seed as usize] {
+                continue;
+            }
+            covered[seed as usize] = true;
+            let mut clique = vec![seed];
+            for &v in self.neighbors(seed) {
+                if covered[v as usize] {
+                    continue;
+                }
+                if clique.iter().all(|&u| self.are_neighbors(u, v)) {
+                    covered[v as usize] = true;
+                    clique.push(v);
+                }
+            }
+            clique.sort_unstable();
+            domains.push(clique);
+        }
+        DomainDecomposition::from_partition(domains, self)
     }
 
     /// Number of stations.
@@ -170,6 +284,117 @@ impl Topology {
     }
 }
 
+/// A partition of a [`Topology`]'s stations into collision domains.
+///
+/// Every station belongs to exactly one domain; an edge either stays
+/// inside one domain or *bridges* exactly two (its endpoints' domains).
+/// The gateway stations a per-domain reference election relays time
+/// through are listed in [`bridges`](Self::bridges): a station is a
+/// bridge iff it is adjacent to **every non-bridge member** of at least
+/// two domains — it can hear whichever station either domain elects as
+/// its reference, and be heard by it, which mere incidence to one
+/// cross-domain edge does not guarantee. (Bridges themselves never
+/// contend to become a domain's reference, so they are excluded from the
+/// coverage requirement; the set is computed as a monotone fixpoint.)
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainDecomposition {
+    /// Sorted member ids per domain, in domain order.
+    pub domains: Vec<Vec<u32>>,
+    /// Station id → index into [`domains`](Self::domains).
+    pub domain_of: Vec<u32>,
+    /// Sorted ids of gateway stations (adjacent to every non-bridge
+    /// member of at least two domains).
+    pub bridges: Vec<u32>,
+}
+
+impl DomainDecomposition {
+    /// Build from an explicit partition, deriving the reverse map and the
+    /// bridge set from `topology`.
+    ///
+    /// # Panics
+    /// Panics if `domains` is not a partition of `0..topology.len()` (a
+    /// station missing, repeated, or out of range) or any domain is empty.
+    pub fn from_partition(domains: Vec<Vec<u32>>, topology: &Topology) -> Self {
+        let n = topology.len() as usize;
+        let mut domain_of = vec![u32::MAX; n];
+        for (d, members) in domains.iter().enumerate() {
+            assert!(!members.is_empty(), "domain {d} is empty");
+            for &m in members {
+                assert!((m as usize) < n, "station {m} out of range");
+                assert_eq!(
+                    domain_of[m as usize],
+                    u32::MAX,
+                    "station {m} assigned to two domains"
+                );
+                domain_of[m as usize] = d as u32;
+            }
+        }
+        assert!(
+            domain_of.iter().all(|&d| d != u32::MAX),
+            "partition does not cover every station"
+        );
+        let mut domains = domains;
+        for members in &mut domains {
+            members.sort_unstable();
+        }
+        // Monotone fixpoint: marking a station as a bridge only relaxes the
+        // coverage requirement for others, so iterate until stable (≤ n
+        // passes).
+        let mut is_bridge = vec![false; n];
+        loop {
+            let mut changed = false;
+            for i in 0..topology.len() {
+                if is_bridge[i as usize] {
+                    continue;
+                }
+                let dominated = domains
+                    .iter()
+                    .filter(|members| {
+                        members.iter().all(|&m| {
+                            m == i || is_bridge[m as usize] || topology.are_neighbors(i, m)
+                        })
+                    })
+                    .count();
+                if dominated >= 2 {
+                    is_bridge[i as usize] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let bridges: Vec<u32> = (0..topology.len())
+            .filter(|&i| is_bridge[i as usize])
+            .collect();
+        DomainDecomposition {
+            domains,
+            domain_of,
+            bridges,
+        }
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True for the degenerate empty decomposition.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// The domain of station `i`.
+    pub fn domain_of(&self, i: u32) -> u32 {
+        self.domain_of[i as usize]
+    }
+
+    /// Whether station `i` has a neighbor in a foreign domain.
+    pub fn is_bridge(&self, i: u32) -> bool {
+        self.bridges.binary_search(&i).is_ok()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +455,107 @@ mod tests {
         let t = Topology::random_disk(30, 100.0, 35.0, &mut rng);
         assert!(t.is_connected());
         assert!(t.diameter().unwrap() >= 2, "should be genuinely multi-hop");
+    }
+
+    #[test]
+    fn ring_structure() {
+        let t = Topology::ring(6);
+        assert_eq!(t.len(), 6);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), Some(3));
+        assert_eq!(t.neighbors(0), &[1, 5]);
+        assert_eq!(t.neighbors(3), &[2, 4]);
+        assert!((0..6).all(|i| t.neighbors(i).len() == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_rejected() {
+        let _ = Topology::ring(2);
+    }
+
+    #[test]
+    fn bridged_two_domains() {
+        let (t, d) = Topology::bridged(2, 3, 2);
+        assert_eq!(t.len(), 13);
+        assert!(t.is_connected());
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.bridges, vec![12]);
+        assert!(d.is_bridge(12));
+        assert!(!d.is_bridge(0));
+        // The bridge hears every station of both islands.
+        assert_eq!(t.neighbors(12), (0..12).collect::<Vec<_>>().as_slice());
+        // Islands are only reachable through the bridge.
+        assert!(!t.are_neighbors(0, 6));
+        assert_eq!(d.domain_of(0), 0);
+        assert_eq!(d.domain_of(6), 1);
+        assert_eq!(d.domain_of(12), 0, "bridge j is assigned to domain j");
+        assert_eq!(d.domains[0], vec![0, 1, 2, 3, 4, 5, 12]);
+        assert_eq!(d.domains[1], vec![6, 7, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn bridged_three_domains_chain() {
+        let (t, d) = Topology::bridged(3, 2, 2);
+        assert_eq!(t.len(), 3 * 4 + 2);
+        assert!(t.is_connected());
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.bridges, vec![12, 13]);
+        // Bridges are not adjacent to each other.
+        assert!(!t.are_neighbors(12, 13));
+        // Bridge 13 joins islands 1 and 2.
+        assert!(t.are_neighbors(13, 4) && t.are_neighbors(13, 8));
+        assert!(!t.are_neighbors(13, 0));
+    }
+
+    #[test]
+    fn clique_domains_partition_the_graph() {
+        let (t, _) = Topology::bridged(2, 3, 2);
+        let d = t.clique_domains();
+        let mut seen = vec![false; t.len() as usize];
+        for members in &d.domains {
+            assert!(!members.is_empty());
+            for &m in members {
+                assert!(!seen[m as usize]);
+                seen[m as usize] = true;
+            }
+            // Every domain is a clique.
+            for &a in members {
+                for &b in members {
+                    assert!(a == b || t.are_neighbors(a, b), "{a} and {b} not adjacent");
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // The full graph collapses to a single domain with no bridges.
+        let full = Topology::full(6).clique_domains();
+        assert_eq!(full.len(), 1);
+        assert!(full.bridges.is_empty());
+    }
+
+    #[test]
+    fn try_random_disk_rejects_impossible_placements() {
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        // Range far too small to connect 10 stations over a 1000-unit side.
+        assert!(Topology::try_random_disk(10, 1000.0, 1.0, &mut rng, 8).is_none());
+        // A generous range succeeds.
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        let t = Topology::try_random_disk(10, 100.0, 60.0, &mut rng, 8).unwrap();
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned to two domains")]
+    fn overlapping_partition_rejected() {
+        let t = Topology::line(4);
+        let _ = DomainDecomposition::from_partition(vec![vec![0, 1], vec![1, 2, 3]], &t);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn incomplete_partition_rejected() {
+        let t = Topology::line(4);
+        let _ = DomainDecomposition::from_partition(vec![vec![0, 1], vec![2]], &t);
     }
 
     #[test]

@@ -37,6 +37,13 @@ cargo run --release -q -p sstsp-faults --bin scenario_fuzz -- matrix
 echo "==> scenario fuzz (fixed seed, bounded iterations)"
 cargo run --release -q -p sstsp-faults --bin scenario_fuzz -- fuzz --iters 10 --seed 2006
 
+echo "==> mesh scenario fuzz at RAYON_NUM_THREADS=1,2,8 (topology dimension, pool-size independent)"
+for threads in 1 2 8; do
+    echo "    RAYON_NUM_THREADS=$threads"
+    RAYON_NUM_THREADS=$threads cargo run --release -q -p sstsp-faults --bin scenario_fuzz -- \
+        fuzz --iters 8 --seed 2006 --mesh
+done
+
 echo "==> thread-determinism at RAYON_NUM_THREADS=1,2,8 (sweep bytes independent of pool size)"
 for threads in 1 2 8; do
     echo "    RAYON_NUM_THREADS=$threads"

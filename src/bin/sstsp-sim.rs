@@ -22,8 +22,14 @@
 //! | `--ref-leaves T1,T2,...` | reference departure times (s) | none |
 //! | `--attack START,END,ERROR_US` | fast-beacon attacker | off |
 //! | `--jam START,END` | jamming window (repeatable) | none |
+//! | `--mesh SPEC` | mesh topology: `line`, `ring`, `rgg:SIDE:RANGE`, `bridged:D:C:R` | off |
 //! | `--chart` | print the ASCII spread chart | off |
 //! | `--csv PATH` | write the spread series as CSV | off |
+//!
+//! A `bridged` mesh fixes the station count to `D·C·R + D − 1` (islands
+//! plus gateways), overriding `--nodes`, and switches SSTSP to per-domain
+//! reference election; the run report then includes one line per collision
+//! domain.
 //!
 //! The `trace` subcommand replays a fault-plan case spec — the same one-line
 //! format the scenario fuzzer prints for failing cases — under trace
@@ -34,7 +40,7 @@
 
 use sstsp::scenario::{AttackerSpec, ChurnConfig, JamWindow};
 use sstsp::{Network, ProtocolKind, ScenarioConfig};
-use sstsp_faults::plan::FuzzCase;
+use sstsp_faults::plan::{FuzzCase, MeshSpec};
 use sstsp_faults::run_case_traced;
 
 fn usage(msg: &str) -> ! {
@@ -135,6 +141,7 @@ fn main() {
     let mut ref_leaves: Vec<f64> = Vec::new();
     let mut attack = None::<AttackerSpec>;
     let mut jams: Vec<JamWindow> = Vec::new();
+    let mut mesh = None::<MeshSpec>;
     let mut chart = false;
     let mut csv = None::<String>;
 
@@ -189,6 +196,13 @@ fn main() {
                     end_s: v[1],
                 });
             }
+            "--mesh" => {
+                mesh = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|e| usage(&format!("bad --mesh: {e}"))),
+                )
+            }
             "--chart" => chart = true,
             "--csv" => csv = Some(val()),
             other => usage(&format!("unknown flag '{other}'")),
@@ -212,6 +226,13 @@ fn main() {
     cfg.ref_leaves_s = ref_leaves;
     cfg.attacker = attack;
     cfg.jam_windows = jams;
+    if let Some(m) = mesh {
+        let topo = m.topology();
+        if let Some(required) = topo.required_nodes() {
+            cfg.n_nodes = required;
+        }
+        cfg.topology = Some(topo);
+    }
 
     eprintln!(
         "running {} × {} stations for {} s (seed {seed})...",
@@ -242,6 +263,17 @@ fn main() {
         r.tx_successes, r.tx_collisions, r.silent_windows, r.jammed_windows
     );
     println!("reference changes:   {}", r.reference_changes);
+    if let Some(report) = &r.domain_report {
+        for d in report {
+            println!(
+                "domain {}:            {} stations, reference {}, end spread {}",
+                d.domain,
+                d.nodes,
+                d.final_reference.map_or("none".into(), |id| id.to_string()),
+                d.end_spread_us.map_or("-".into(), |v| format!("{v:.1} µs")),
+            );
+        }
+    }
     if cfg.attacker.is_some() {
         println!("attacker became ref: {}", r.attacker_became_reference);
     }
