@@ -780,7 +780,15 @@ impl Network {
                     }
 
                     lap!(1);
-                    match channel.resolve_window(attempts) {
+                    let mut outcome = channel.resolve_window(attempts);
+                    if active {
+                        // Replay seam: a schedule-driven hook substitutes
+                        // the recorded outcome after cross-checking `live`.
+                        if let Some(replayed) = hook.on_window(k, &outcome) {
+                            outcome = replayed;
+                        }
+                    }
+                    match outcome {
                         WindowOutcome::Silent => {
                             silent_windows += 1;
                             bp_counters.window_silent += 1;

@@ -14,6 +14,7 @@ use crate::scenario::ScenarioConfig;
 use protocols::api::{AnchorRegistry, BeaconPayload, NodeId};
 use protocols::sstsp::SstspStats;
 use simcore::SimTime;
+pub use wireless::WindowOutcome;
 
 /// A state change the engine applies on behalf of a fault plan at the start
 /// of a beacon period. Actions are the only way a hook mutates the network;
@@ -195,6 +196,16 @@ pub trait EngineHook {
     /// Called at the start of each BP; push [`FaultAction`]s into `actions`
     /// to mutate the network. Applied in order, before the beacon window.
     fn on_bp_start(&mut self, _bp: u64, _t0: SimTime, _actions: &mut Vec<FaultAction>) {}
+
+    /// Called after the MAC contention window resolves, before the outcome
+    /// is applied; `live` is what the channel model produced. Returning
+    /// `Some` replaces it — this is the replay seam: a recorded schedule
+    /// drives the run through here while the live outcome stays available
+    /// for divergence cross-checking. Single-hop runs only; mesh window
+    /// resolution is per-link and has no single window outcome to override.
+    fn on_window(&mut self, _bp: u64, _live: &WindowOutcome) -> Option<WindowOutcome> {
+        None
+    }
 
     /// Called once per transmitted beacon (after the contention window
     /// resolves, before per-receiver deliveries). Trace recorders use this

@@ -231,10 +231,10 @@ fn invariant_token(kind: InvariantKind) -> &'static str {
 /// plan executes exactly as in [`run_case`] while the recorder captures the
 /// event stream, interleaving the fault layer's own observations — hook
 /// drops and invariant violations — at the position they happened.
-struct TracedHarness {
-    harness: FaultHarness,
-    recorder: TraceRecorder,
-    violations_seen: usize,
+pub(crate) struct TracedHarness {
+    pub(crate) harness: FaultHarness,
+    pub(crate) recorder: TraceRecorder,
+    pub(crate) violations_seen: usize,
 }
 
 impl TracedHarness {

@@ -11,6 +11,10 @@
 //! * [`harness`] — the [`sstsp::instrument::EngineHook`] that executes a
 //!   plan against a run while feeding every observation to the protocol
 //!   invariant checker ([`sstsp::invariants`]);
+//! * [`replay`] — trace-driven record/replay: re-executes a recorded JSONL
+//!   trace, drives the MAC windows from the recorded beacon schedule, and
+//!   cross-checks every event against the live model, reporting structured
+//!   divergences (BP index, event kind, expected vs. recorded);
 //! * [`shrink`] — greedy deterministic minimization of failing cases;
 //! * [`fuzz`] — seeded random fault plans swept across N / m / δ, with
 //!   automatic shrinking of any violation to a minimal reproducer;
@@ -32,9 +36,14 @@ pub mod fuzz;
 pub mod harness;
 pub mod matrix;
 pub mod plan;
+pub mod replay;
 pub mod shrink;
 
 pub use fuzz::{fuzz, FuzzConfig, FuzzFailure, FuzzReport};
 pub use harness::{run_case, run_case_traced, CaseOutcome, FaultHarness, TracedOutcome};
 pub use plan::{CorruptField, FaultEvent, FaultKind, FaultPlan, FuzzCase};
+pub use replay::{
+    replay, replay_trace, to_replayable_jsonl, Divergence, RecordedSchedule, ReplayError,
+    ReplayReport,
+};
 pub use shrink::shrink;

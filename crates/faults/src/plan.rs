@@ -522,9 +522,16 @@ impl FromStr for FuzzCase {
         let mut plan_seed = None;
         let mut mesh = None;
         let mut events = Vec::new();
+        // Name the offending token in every error: a failing reproducer
+        // spec is a long line, and "bad value" without the token forces a
+        // manual bisection.
+        let in_token = |token: &str| {
+            let token = token.to_string();
+            move |SpecError(msg)| SpecError(format!("in `{token}`: {msg}"))
+        };
         for token in s.split_whitespace() {
             if token.contains('@') {
-                events.push(token.parse()?);
+                events.push(token.parse().map_err(in_token(token))?);
                 continue;
             }
             let (k, v) = split_kv(token, "case dims")?;
@@ -535,8 +542,8 @@ impl FromStr for FuzzCase {
                 "m" => m = Some(parse_num(k, v)?),
                 "delta" => delta = Some(parse_num(k, v)?),
                 "plan" => plan_seed = Some(parse_num(k, v)?),
-                "mesh" => mesh = Some(v.parse::<MeshSpec>()?),
-                _ => return Err(SpecError(format!("unknown case dim `{k}`"))),
+                "mesh" => mesh = Some(v.parse::<MeshSpec>().map_err(in_token(token))?),
+                _ => return Err(SpecError(format!("unknown case dim `{k}` in `{token}`"))),
             }
         }
         let need = |what: &str| SpecError(format!("missing `{what}`"));
@@ -721,6 +728,31 @@ mod tests {
         ] {
             let spec = format!("n=8 dur=20 seed=1 m=4 delta=300 plan=0 {bad}");
             assert!(spec.parse::<FuzzCase>().is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_token() {
+        for (spec, token) in [
+            (
+                "n=8 dur=20 seed=1 m=4 delta=300 plan=0 crash@1..2:node=3,rejoin=zz",
+                "crash@1..2:node=3,rejoin=zz",
+            ),
+            (
+                "n=8 dur=20 seed=1 m=4 delta=300 plan=0 zap@1..2",
+                "zap@1..2",
+            ),
+            (
+                "n=8 dur=20 seed=1 m=4 delta=300 plan=0 mesh=rgg:4.5",
+                "mesh=rgg:4.5",
+            ),
+            ("n=8 dur=20 seed=1 m=4 delta=300 plan=0 bogus=7", "bogus=7"),
+        ] {
+            let SpecError(msg) = spec.parse::<FuzzCase>().unwrap_err();
+            assert!(
+                msg.contains(&format!("`{token}`")),
+                "error for `{spec}` does not name `{token}`: {msg}"
+            );
         }
     }
 

@@ -1,0 +1,119 @@
+//! Property pin: the one-line case spec is a true inverse pair —
+//! `parse(format(case)) == case` for *every* representable case, across
+//! all fault-kind variants and the `mesh=` dimension. Floats print in
+//! shortest-round-trip form, so exact equality is the right check.
+
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+use sstsp_faults::plan::{CorruptField, FaultEvent, FaultKind, FaultPlan, FuzzCase, MeshSpec};
+
+fn corrupt_field() -> BoxedStrategy<CorruptField> {
+    prop_oneof![
+        Just(CorruptField::Timestamp),
+        Just(CorruptField::Mac),
+        Just(CorruptField::Disclosed),
+        Just(CorruptField::Truncate),
+    ]
+    .boxed()
+}
+
+fn rejoin() -> BoxedStrategy<Option<u64>> {
+    prop_oneof![Just(None), (1u64..500).prop_map(Some)].boxed()
+}
+
+/// Every [`FaultKind`] variant, parameters drawn across their domains.
+fn fault_kind() -> BoxedStrategy<FaultKind> {
+    prop_oneof![
+        (0.0..=1.0).prop_map(|p| FaultKind::BurstLoss { p }),
+        (corrupt_field(), 0.0..=1.0).prop_map(|(field, p)| FaultKind::Corrupt { field, p }),
+        (0u32..32, rejoin()).prop_map(|(node, rejoin_after_bps)| FaultKind::Crash {
+            node,
+            rejoin_after_bps,
+        }),
+        rejoin().prop_map(|rejoin_after_bps| FaultKind::KillReference { rejoin_after_bps }),
+        (0u32..32, -5000.0..5000.0)
+            .prop_map(|(node, delta_us)| FaultKind::ClockStep { node, delta_us }),
+        (0u32..32).prop_map(|node| FaultKind::ClockFreeze { node }),
+        (0.0..=1.0).prop_map(|p| FaultKind::DisclosureLoss { p }),
+        Just(FaultKind::Jam),
+        (0u32..8, rejoin()).prop_map(|(domain, rejoin_after_bps)| FaultKind::CrashDomain {
+            domain,
+            rejoin_after_bps,
+        }),
+        (0u32..4, rejoin()).prop_map(|(bridge, rejoin_after_bps)| FaultKind::KillBridge {
+            bridge,
+            rejoin_after_bps,
+        }),
+        (1u64..600).prop_map(|intervals| FaultKind::ChainExhaust { intervals }),
+    ]
+    .boxed()
+}
+
+fn fault_event() -> BoxedStrategy<FaultEvent> {
+    (0u64..400, 0u64..200, fault_kind())
+        .prop_map(|(start_bp, len, kind)| FaultEvent {
+            start_bp,
+            end_bp: start_bp + len,
+            kind,
+        })
+        .boxed()
+}
+
+/// Every topology dimension, including `None` (single-hop IBSS).
+fn mesh() -> BoxedStrategy<Option<MeshSpec>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(MeshSpec::Line)),
+        Just(Some(MeshSpec::Ring)),
+        (1.0..200.0, 0.5..80.0).prop_map(|(side, range)| Some(MeshSpec::Rgg { side, range })),
+        (2u32..5, 1u32..5, 1u32..5).prop_map(|(domains, cols, rows)| {
+            Some(MeshSpec::Bridged {
+                domains,
+                cols,
+                rows,
+            })
+        }),
+    ]
+    .boxed()
+}
+
+fn fuzz_case() -> BoxedStrategy<FuzzCase> {
+    (
+        (2u32..300, 0.5..2000.0, any::<u64>(), 1u32..16),
+        (1.0..100000.0, any::<u64>()),
+        mesh(),
+        proptest::collection::vec(fault_event(), 0..6),
+    )
+        .prop_map(
+            |((n, duration_s, seed, m), (guard_fine_us, plan_seed), mesh, events)| FuzzCase {
+                n,
+                duration_s,
+                seed,
+                m,
+                guard_fine_us,
+                mesh,
+                plan: FaultPlan {
+                    seed: plan_seed,
+                    events,
+                },
+            },
+        )
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `FromStr` inverts `Display` exactly, for every plan variant.
+    #[test]
+    fn parse_inverts_format(case in fuzz_case()) {
+        let spec = case.to_string();
+        prop_assert!(!spec.contains('\n'), "spec must be one line: {spec}");
+        let parsed: FuzzCase = spec
+            .parse()
+            .unwrap_or_else(|e| panic!("own spec `{spec}` failed to parse: {e}"));
+        prop_assert!(parsed == case, "round-trip mismatch for `{spec}`");
+        // And formatting is a fixed point: format(parse(format(x))) == format(x).
+        prop_assert_eq!(parsed.to_string(), spec);
+    }
+}

@@ -29,11 +29,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod log;
+pub mod reader;
 pub mod registry;
 pub mod trace;
 
+pub use reader::{parse_events, parse_trace, RecordedTrace, TraceReadError};
 pub use registry::{
     counter_add, counter_add_many, dist_record, enabled, gauge_max, recording, reset, set_enabled,
     snapshot, DistSpec, RecordingGuard, Snapshot,
 };
-pub use trace::{RxOutcome, TraceEvent};
+pub use trace::{RxOutcome, TraceEncodeError, TraceEvent, TRACE_SCHEMA};

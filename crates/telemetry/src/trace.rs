@@ -11,9 +11,17 @@
 //! Encoding is one JSON object per line (JSONL), hand-rolled since the
 //! workspace deliberately carries no serde_json. All numbers are plain
 //! decimals; floats use Rust's shortest-round-trip `Display`, so a dumped
-//! trace is itself deterministic.
+//! trace is itself deterministic. String fields are escaped to pure ASCII
+//! (`\uXXXX` for controls and non-ASCII), and non-finite floats are an
+//! encoding *error* rather than a silent `null` — a trace that parses is a
+//! trace that round-trips. The inverse lives in [`crate::reader`].
 
 use std::fmt::Write;
+
+/// Version of the JSONL trace schema. Bumped whenever an event's encoding
+/// changes shape; the reader refuses traces recorded under a different
+/// version instead of misinterpreting them.
+pub const TRACE_SCHEMA: u32 = 1;
 
 /// What a receiver did with one delivered beacon, classified from the
 /// receiver's diagnostic-counter deltas.
@@ -55,6 +63,16 @@ impl RxOutcome {
 /// One structured trace event. Node ids are station indices.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
+    /// Trace-file header: the schema version the file was written under
+    /// and the one-line case spec it was recorded from. Written as the
+    /// first line by trace writers (not produced by engine hooks); replay
+    /// needs it to rebuild the scenario the trace came from.
+    Meta {
+        /// Trace schema version (see [`TRACE_SCHEMA`]).
+        schema: u32,
+        /// One-line replayable case spec (`sstsp-faults` FuzzCase syntax).
+        case: String,
+    },
     /// Run header: scenario identity.
     RunStart {
         /// Protocol name.
@@ -157,9 +175,13 @@ pub enum TraceEvent {
     },
 }
 
-/// Escape a string for inclusion in a JSON string literal.
+/// Escape a string for inclusion in a JSON string literal. The output is
+/// pure ASCII: quotes and backslashes get their two-character escapes,
+/// control characters and everything outside `0x20..=0x7e` become `\uXXXX`
+/// (UTF-16 units, so astral-plane characters encode as surrogate pairs).
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
+    let mut units = [0u16; 2];
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -167,14 +189,38 @@ pub fn json_escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            '\x20'..='\x7e' => out.push(c),
+            c => {
+                for unit in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{unit:04x}");
+                }
             }
-            c => out.push(c),
         }
     }
     out
 }
+
+/// An event that cannot be encoded: JSON has no NaN or Infinity, and a
+/// trace line that silently nulled a required float would not round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEncodeError {
+    /// The field holding the non-finite value.
+    pub field: &'static str,
+    /// The offending value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for TraceEncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot encode non-finite `{}` ({}) in a trace event",
+            self.field, self.value
+        )
+    }
+}
+
+impl std::error::Error for TraceEncodeError {}
 
 fn opt_u32(v: Option<u32>) -> String {
     match v {
@@ -183,20 +229,25 @@ fn opt_u32(v: Option<u32>) -> String {
     }
 }
 
-/// Render a float as JSON: finite values via shortest-round-trip display,
-/// non-finite ones (JSON has no NaN/Inf) as null.
-fn json_f64(v: f64) -> String {
+/// Render a float as JSON via shortest-round-trip display; non-finite
+/// values (JSON has no NaN/Inf) are an encoding error.
+fn json_f64(field: &'static str, v: f64) -> Result<String, TraceEncodeError> {
     if v.is_finite() {
-        format!("{v}")
+        Ok(format!("{v}"))
     } else {
-        "null".to_string()
+        Err(TraceEncodeError { field, value: v })
     }
 }
 
 impl TraceEvent {
-    /// Encode as one JSONL line (no trailing newline).
-    pub fn to_jsonl(&self) -> String {
-        match self {
+    /// Encode as one JSONL line (no trailing newline). Fails if the event
+    /// carries a non-finite float (unrepresentable in JSON).
+    pub fn to_jsonl(&self) -> Result<String, TraceEncodeError> {
+        Ok(match self {
+            TraceEvent::Meta { schema, case } => format!(
+                "{{\"ev\":\"meta\",\"schema\":{schema},\"case\":\"{}\"}}",
+                json_escape(case)
+            ),
             TraceEvent::RunStart {
                 protocol,
                 n_nodes,
@@ -224,8 +275,8 @@ impl TraceEvent {
                 };
                 format!(
                     "{{\"ev\":\"beacon_rx\",\"bp\":{bp},\"src\":{src},\"dst\":{dst},\"t_rx_us\":{},\"clock_before_us\":{},\"outcome\":\"{}\"{retarget}}}",
-                    json_f64(*t_rx_us),
-                    json_f64(*clock_before_us),
+                    json_f64("t_rx_us", *t_rx_us)?,
+                    json_f64("clock_before_us", *clock_before_us)?,
                     outcome.token()
                 )
             }
@@ -254,7 +305,10 @@ impl TraceEvent {
                 disturbed,
             } => format!(
                 "{{\"ev\":\"bp_end\",\"bp\":{bp},\"spread_us\":{},\"reference\":{},\"disturbed\":{disturbed}}}",
-                spread_us.map_or("null".to_string(), json_f64),
+                match spread_us {
+                    Some(v) => json_f64("spread_us", *v)?,
+                    None => "null".to_string(),
+                },
                 opt_u32(*reference)
             ),
             TraceEvent::Violation {
@@ -277,20 +331,53 @@ impl TraceEvent {
                 peak_spread_us,
             } => format!(
                 "{{\"ev\":\"run_end\",\"tx_successes\":{tx_successes},\"tx_collisions\":{tx_collisions},\"guard_rejections\":{guard_rejections},\"mutesla_rejections\":{mutesla_rejections},\"retargets\":{retargets},\"peak_spread_us\":{}}}",
-                json_f64(*peak_spread_us)
+                json_f64("peak_spread_us", *peak_spread_us)?
             ),
+        })
+    }
+
+    /// Stable token naming the event kind (the JSONL `ev` field).
+    pub fn kind_token(&self) -> &'static str {
+        match self {
+            TraceEvent::Meta { .. } => "meta",
+            TraceEvent::RunStart { .. } => "run_start",
+            TraceEvent::BeaconTx { .. } => "beacon_tx",
+            TraceEvent::BeaconRx { .. } => "beacon_rx",
+            TraceEvent::HookDrop { .. } => "hook_drop",
+            TraceEvent::RefChange { .. } => "ref_change",
+            TraceEvent::DomainRefChange { .. } => "domain_ref_change",
+            TraceEvent::BpEnd { .. } => "bp_end",
+            TraceEvent::Violation { .. } => "violation",
+            TraceEvent::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// The beacon period the event belongs to, when it carries one.
+    pub fn bp(&self) -> Option<u64> {
+        match self {
+            TraceEvent::BeaconTx { bp, .. }
+            | TraceEvent::BeaconRx { bp, .. }
+            | TraceEvent::HookDrop { bp, .. }
+            | TraceEvent::RefChange { bp, .. }
+            | TraceEvent::DomainRefChange { bp, .. }
+            | TraceEvent::BpEnd { bp, .. }
+            | TraceEvent::Violation { bp, .. } => Some(*bp),
+            TraceEvent::Meta { .. } | TraceEvent::RunStart { .. } | TraceEvent::RunEnd { .. } => {
+                None
+            }
         }
     }
 }
 
 /// Encode a whole trace as JSONL (one event per line, trailing newline).
-pub fn to_jsonl(events: &[TraceEvent]) -> String {
+/// Fails on the first event carrying a non-finite float.
+pub fn to_jsonl(events: &[TraceEvent]) -> Result<String, TraceEncodeError> {
     let mut out = String::new();
     for ev in events {
-        out.push_str(&ev.to_jsonl());
+        out.push_str(&ev.to_jsonl()?);
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -298,9 +385,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn escaping_covers_quotes_and_controls() {
+    fn escaping_covers_quotes_controls_and_non_ascii() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+        // DEL and C1 controls, which the old writer passed through raw.
+        assert_eq!(json_escape("\u{7f}\u{85}"), "\\u007f\\u0085");
+        // Non-ASCII text (µ is ubiquitous in this repo's detail strings)
+        // and an astral-plane char encode as \u escapes / surrogate pairs.
+        assert_eq!(json_escape("µs"), "\\u00b5s");
+        assert_eq!(json_escape("\u{1f310}"), "\\ud83c\\udf10");
+        // The output is always pure ASCII.
+        assert!(json_escape("snow\u{2028}man ☃").is_ascii());
     }
 
     #[test]
@@ -314,7 +409,7 @@ mod tests {
             outcome: RxOutcome::Accept { retarget: true },
         };
         assert_eq!(
-            ev.to_jsonl(),
+            ev.to_jsonl().unwrap(),
             "{\"ev\":\"beacon_rx\",\"bp\":3,\"src\":5,\"dst\":1,\"t_rx_us\":300128.5,\"clock_before_us\":300100.25,\"outcome\":\"accept\",\"retarget\":true}"
         );
         let ev = TraceEvent::RefChange {
@@ -323,7 +418,7 @@ mod tests {
             to: Some(4),
         };
         assert_eq!(
-            ev.to_jsonl(),
+            ev.to_jsonl().unwrap(),
             "{\"ev\":\"ref_change\",\"bp\":9,\"from\":null,\"to\":4}"
         );
         let ev = TraceEvent::BpEnd {
@@ -333,7 +428,7 @@ mod tests {
             disturbed: false,
         };
         assert_eq!(
-            ev.to_jsonl(),
+            ev.to_jsonl().unwrap(),
             "{\"ev\":\"bp_end\",\"bp\":2,\"spread_us\":null,\"reference\":null,\"disturbed\":false}"
         );
         let ev = TraceEvent::DomainRefChange {
@@ -343,13 +438,21 @@ mod tests {
             to: Some(8),
         };
         assert_eq!(
-            ev.to_jsonl(),
+            ev.to_jsonl().unwrap(),
             "{\"ev\":\"domain_ref_change\",\"bp\":14,\"domain\":1,\"from\":null,\"to\":8}"
+        );
+        let ev = TraceEvent::Meta {
+            schema: TRACE_SCHEMA,
+            case: "n=6 dur=10 seed=11 m=4 delta=300 plan=5".to_string(),
+        };
+        assert_eq!(
+            ev.to_jsonl().unwrap(),
+            "{\"ev\":\"meta\",\"schema\":1,\"case\":\"n=6 dur=10 seed=11 m=4 delta=300 plan=5\"}"
         );
     }
 
     #[test]
-    fn non_finite_floats_become_null() {
+    fn non_finite_floats_fail_to_encode() {
         let ev = TraceEvent::RunEnd {
             tx_successes: 1,
             tx_collisions: 0,
@@ -358,6 +461,25 @@ mod tests {
             retargets: 0,
             peak_spread_us: f64::NAN,
         };
-        assert!(ev.to_jsonl().ends_with("\"peak_spread_us\":null}"));
+        let err = ev.to_jsonl().unwrap_err();
+        assert_eq!(err.field, "peak_spread_us");
+        let ev = TraceEvent::BeaconRx {
+            bp: 1,
+            src: 0,
+            dst: 1,
+            t_rx_us: f64::INFINITY,
+            clock_before_us: 0.0,
+            outcome: RxOutcome::Ignored,
+        };
+        assert_eq!(ev.to_jsonl().unwrap_err().field, "t_rx_us");
+        // An Option float is still encodable as null when absent, but a
+        // present non-finite value fails like any other.
+        let ev = TraceEvent::BpEnd {
+            bp: 1,
+            spread_us: Some(f64::NAN),
+            reference: None,
+            disturbed: false,
+        };
+        assert_eq!(ev.to_jsonl().unwrap_err().field, "spread_us");
     }
 }

@@ -56,6 +56,70 @@ for threads in 1 2 8; do
     RAYON_NUM_THREADS=$threads cargo test -q --release -p sstsp-faults --test fastpath_equivalence
 done
 
+echo "==> record/replay round trip (golden 2-domain bridged scenario, byte-identical)"
+SIM=target/release/sstsp-sim
+REPLAY_TMP=$(mktemp -d)
+trap 'rm -rf "$REPLAY_TMP"' EXIT
+cargo build --release -q --bin sstsp-sim
+$SIM trace "n=13 dur=12 seed=7 m=4 delta=300 plan=0 mesh=bridged:2:3:2" \
+    --out "$REPLAY_TMP/rec.jsonl" 2>"$REPLAY_TMP/rec.err"
+for threads in 1 2 8; do
+    echo "    RAYON_NUM_THREADS=$threads"
+    RAYON_NUM_THREADS=$threads $SIM replay "$REPLAY_TMP/rec.jsonl" --strict \
+        --out "$REPLAY_TMP/rep.jsonl" 2>"$REPLAY_TMP/rep.err" >/dev/null
+    cmp "$REPLAY_TMP/rec.jsonl" "$REPLAY_TMP/rep.jsonl" || {
+        echo "ERROR: replay is not byte-identical to the recording" >&2
+        exit 1
+    }
+    diff <(sed -n '/--- telemetry ---/,$p' "$REPLAY_TMP/rec.err") \
+        <(sed -n '/--- telemetry ---/,$p' "$REPLAY_TMP/rep.err") || {
+        echo "ERROR: replay telemetry diverged from the recording" >&2
+        exit 1
+    }
+done
+
+echo "==> replay divergence detection (mutated trace must fail --strict, locating BP + kind)"
+sed 's/"domain_ref_change","bp":11,"domain":1,"from":null,"to":6/"domain_ref_change","bp":11,"domain":1,"from":null,"to":7/' \
+    "$REPLAY_TMP/rec.jsonl" >"$REPLAY_TMP/mut.jsonl"
+cmp -s "$REPLAY_TMP/rec.jsonl" "$REPLAY_TMP/mut.jsonl" && {
+    echo "ERROR: mutation sed matched nothing — golden election transcript moved?" >&2
+    exit 1
+}
+if $SIM replay "$REPLAY_TMP/mut.jsonl" --strict >"$REPLAY_TMP/mut.out" 2>/dev/null; then
+    echo "ERROR: mutated trace passed --strict replay" >&2
+    exit 1
+fi
+grep -q 'BP 11 \[domain_ref_change\]' "$REPLAY_TMP/mut.out" || {
+    echo "ERROR: divergence not located (expected 'BP 11 [domain_ref_change]'):" >&2
+    cat "$REPLAY_TMP/mut.out" >&2
+    exit 1
+}
+
+echo "==> trace schema-version mismatch is refused (exit 2)"
+sed '1s/"schema":1/"schema":99/' "$REPLAY_TMP/rec.jsonl" >"$REPLAY_TMP/schema.jsonl"
+set +e
+$SIM replay "$REPLAY_TMP/schema.jsonl" >/dev/null 2>&1
+rc=$?
+set -e
+if [ "$rc" -ne 2 ]; then
+    echo "ERROR: schema-mismatched trace exited $rc, want 2" >&2
+    exit 1
+fi
+
+echo "==> CLI argument validation rejects malformed windows (exit non-zero)"
+for bad in "--jam 50,20" "--jam 20,20" "--attack 600,400,30" "--churn 0,0.5,10" \
+    "--churn 10,1.5,10" "--duration -5" "--bogus-flag"; do
+    set +e
+    # shellcheck disable=SC2086
+    $SIM $bad --nodes 8 >/dev/null 2>&1
+    rc=$?
+    set -e
+    if [ "$rc" -eq 0 ]; then
+        echo "ERROR: 'sstsp-sim $bad' was accepted (exit 0)" >&2
+        exit 1
+    fi
+done
+
 echo "==> large-n smoke (n=1000 run inside wall-clock budget, fast vs legacy path identical)"
 cargo run --release -q -p sstsp-bench --bin perf_baseline -- --smoke-large
 

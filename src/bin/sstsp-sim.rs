@@ -4,7 +4,8 @@
 //! sstsp-sim --protocol sstsp --nodes 100 --duration 60 --seed 1 --chart
 //! sstsp-sim --protocol tsf --nodes 300 --duration 1000 --csv out.csv
 //! sstsp-sim --protocol sstsp --nodes 500 --m 4 --attack 400,600,30 --chart
-//! sstsp-sim trace "n=12 dur=30 seed=7 m=4 delta=300 plan=3 burst@40..90:p=0.85"
+//! sstsp-sim trace "n=12 dur=30 seed=7 m=4 delta=300 plan=3 burst@40..90:p=0.85" --out run.jsonl
+//! sstsp-sim replay run.jsonl --strict --report
 //! ```
 //!
 //! Flags:
@@ -31,17 +32,27 @@
 //! reference election; the run report then includes one line per collision
 //! domain.
 //!
-//! The `trace` subcommand replays a fault-plan case spec — the same one-line
+//! The `trace` subcommand runs a fault-plan case spec — the same one-line
 //! format the scenario fuzzer prints for failing cases — under trace
-//! recording, and emits the structured JSONL event stream (beacon tx/rx,
-//! receiver verdicts, hook drops, reference changes, per-BP spreads,
-//! invariant violations) to stdout or `--out PATH`. The merged telemetry
-//! metrics snapshot goes to stderr.
+//! recording, and emits a self-contained JSONL trace file (a versioned
+//! `meta` header with the case spec, then the structured event stream:
+//! beacon tx/rx, receiver verdicts, hook drops, reference changes, per-BP
+//! spreads, invariant violations) to stdout or `--out PATH`. The merged
+//! telemetry metrics snapshot goes to stderr.
+//!
+//! The `replay` subcommand is its inverse: `sstsp-sim replay FILE` parses
+//! a recorded trace, re-executes the case with the engine driven from the
+//! recorded beacon schedule, and cross-checks every event against the live
+//! model. Divergences print as `BP <n> [<kind>]: expected ..., recorded
+//! ...` lines. Flags: `--report` prints every divergence (default: first
+//! only), `--strict` exits 1 when any divergence is found, `--out PATH`
+//! writes the regenerated trace (byte-identical to the input for a
+//! faithful recording). Unreadable or schema-mismatched traces exit 2.
 
 use sstsp::scenario::{AttackerSpec, ChurnConfig, JamWindow};
 use sstsp::{Network, ProtocolKind, ScenarioConfig};
 use sstsp_faults::plan::{FuzzCase, MeshSpec};
-use sstsp_faults::run_case_traced;
+use sstsp_faults::{replay_trace, run_case_traced, to_replayable_jsonl};
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\nsee `sstsp-sim` source header for flags");
@@ -96,14 +107,20 @@ fn run_trace(args: &[String]) -> ! {
     let snap = sstsp_telemetry::snapshot();
     drop(guard);
 
-    let jsonl = sstsp_telemetry::trace::to_jsonl(&outcome.events);
+    let jsonl = to_replayable_jsonl(&case, &outcome.events).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     match out {
         Some(path) => {
             std::fs::write(&path, &jsonl).unwrap_or_else(|e| {
                 eprintln!("cannot write {path}: {e}");
                 std::process::exit(1);
             });
-            eprintln!("wrote {} events to {path}", outcome.events.len());
+            eprintln!(
+                "wrote {} events (+ meta header) to {path}",
+                outcome.events.len()
+            );
         }
         None => print!("{jsonl}"),
     }
@@ -124,10 +141,115 @@ fn run_trace(args: &[String]) -> ! {
     std::process::exit(if outcome.violations.is_empty() { 0 } else { 1 })
 }
 
+/// `sstsp-sim replay FILE [--strict] [--report] [--out PATH]` — re-execute
+/// a recorded trace and cross-check it against the live model.
+fn run_replay(args: &[String]) -> ! {
+    let mut file = None::<String>;
+    let mut strict = false;
+    let mut report_all = false;
+    let mut out = None::<String>;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            "--report" => report_all = true,
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--out needs a value"))
+                        .clone(),
+                )
+            }
+            other if other.starts_with("--") => usage(&format!("unknown replay flag '{other}'")),
+            other if file.is_none() => file = Some(other.to_string()),
+            other => usage(&format!("replay takes one trace file, got extra '{other}'")),
+        }
+    }
+    let file = file
+        .unwrap_or_else(|| usage("replay needs a trace file (from `sstsp-sim trace --out ...`)"));
+    let input = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        std::process::exit(2);
+    });
+
+    let guard = sstsp_telemetry::recording();
+    let report = replay_trace(&input).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let snap = sstsp_telemetry::snapshot();
+    drop(guard);
+
+    if let Some(path) = out {
+        let jsonl = report.to_jsonl().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        std::fs::write(&path, &jsonl).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "wrote {} regenerated events (+ meta header) to {path}",
+            report.events.len()
+        );
+    }
+
+    eprintln!("case:       {}", report.case);
+    eprintln!(
+        "result:     peak spread {:.1} µs, {} tx ok, {} guard / {} µTESLA rejections",
+        report.result.peak_spread_us,
+        report.result.tx_successes,
+        report.result.guard_rejections,
+        report.result.mutesla_rejections,
+    );
+    eprintln!("violations: {}", report.violations.len());
+    match report.divergences.len() {
+        0 => println!(
+            "replay faithful: {} events byte-identical",
+            report.events.len()
+        ),
+        n => {
+            println!("{n} divergence(s); first:");
+            let shown = if report_all { n } else { 1 };
+            for d in report.divergences.iter().take(shown) {
+                println!("  {d}");
+            }
+        }
+    }
+    eprintln!("--- telemetry ---\n{}", snap.render_text());
+    std::process::exit(if strict && !report.is_faithful() {
+        1
+    } else {
+        0
+    })
+}
+
+/// Reject a malformed `start..end` sim-time window: non-finite bounds,
+/// negative start, or an empty/inverted window.
+fn validate_window(flag: &str, start: f64, end: f64) {
+    if !start.is_finite() || !end.is_finite() {
+        usage(&format!(
+            "{flag}: window bounds must be finite (got {start}..{end})"
+        ));
+    }
+    if start < 0.0 {
+        usage(&format!("{flag}: window start must be >= 0 (got {start})"));
+    }
+    if end <= start {
+        usage(&format!(
+            "{flag}: window must satisfy end > start (got {start}..{end})"
+        ));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
         run_trace(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("replay") {
+        run_replay(&args[1..]);
     }
     let mut protocol = ProtocolKind::Sstsp;
     let mut nodes = 50u32;
@@ -174,6 +296,21 @@ fn main() {
             "--per" => per = Some(val().parse().unwrap_or_else(|_| usage("bad --per"))),
             "--churn" => {
                 let v = parse_list(&val(), 3, "--churn");
+                if !v.iter().all(|x| x.is_finite()) {
+                    usage("--churn: values must be finite");
+                }
+                if v[0] <= 0.0 {
+                    usage(&format!("--churn: period must be > 0 (got {})", v[0]));
+                }
+                if !(0.0..=1.0).contains(&v[1]) {
+                    usage(&format!(
+                        "--churn: fraction must be in [0, 1] (got {})",
+                        v[1]
+                    ));
+                }
+                if v[2] < 0.0 {
+                    usage(&format!("--churn: absence must be >= 0 (got {})", v[2]));
+                }
                 churn = Some(ChurnConfig {
                     period_s: v[0],
                     fraction: v[1],
@@ -183,6 +320,10 @@ fn main() {
             "--ref-leaves" => ref_leaves = parse_list(&val(), 0, "--ref-leaves"),
             "--attack" => {
                 let v = parse_list(&val(), 3, "--attack");
+                validate_window("--attack", v[0], v[1]);
+                if !v[2].is_finite() {
+                    usage(&format!("--attack: error_us must be finite (got {})", v[2]));
+                }
                 attack = Some(AttackerSpec {
                     start_s: v[0],
                     end_s: v[1],
@@ -191,6 +332,7 @@ fn main() {
             }
             "--jam" => {
                 let v = parse_list(&val(), 2, "--jam");
+                validate_window("--jam", v[0], v[1]);
                 jams.push(JamWindow {
                     start_s: v[0],
                     end_s: v[1],
@@ -207,6 +349,12 @@ fn main() {
             "--csv" => csv = Some(val()),
             other => usage(&format!("unknown flag '{other}'")),
         }
+    }
+
+    if !duration.is_finite() || duration <= 0.0 {
+        usage(&format!(
+            "--duration must be a finite positive number of seconds (got {duration})"
+        ));
     }
 
     let mut cfg = ScenarioConfig::new(protocol, nodes, duration, seed);

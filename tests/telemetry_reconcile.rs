@@ -93,7 +93,7 @@ fn counters_trace_and_run_result_reconcile() {
 
     // JSONL export is well-formed: one object per line, framed by
     // run_start / run_end.
-    let jsonl = trace::to_jsonl(&outcome.events);
+    let jsonl = trace::to_jsonl(&outcome.events).expect("trace carries only finite floats");
     let lines: Vec<&str> = jsonl.lines().collect();
     assert_eq!(lines.len(), outcome.events.len());
     assert!(lines.first().unwrap().starts_with("{\"ev\":\"run_start\""));
@@ -104,6 +104,12 @@ fn counters_trace_and_run_result_reconcile() {
             "bad line: {line}"
         );
     }
+    // And the JSONL parses back to the exact event stream (the reader is
+    // the writer's inverse).
+    assert_eq!(
+        sstsp_telemetry::reader::parse_events(&jsonl).expect("own output parses"),
+        outcome.events
+    );
 
     // A correct implementation stays violation-free under this plan, and
     // the spec round-trips for replay.
