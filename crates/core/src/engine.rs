@@ -20,7 +20,8 @@
 //! keeps the time bookkeeping honest (monotone, horizon-checked).
 
 use crate::instrument::{
-    BpView, DeliveryCtx, DeliveryFate, DeliveryObs, EngineHook, FaultAction, NodeSnapshot, NoopHook,
+    BatchRx, BpBatch, BpView, DeliveryCtx, DeliveryFate, DeliveryObs, EngineHook, FaultAction,
+    NodeSnapshot, NoopHook,
 };
 use crate::kernel::{BpTimeline, NodeSoa};
 use crate::scenario::{ProtocolKind, ScenarioConfig, TopologySpec};
@@ -35,13 +36,15 @@ use protocols::{AspNode, AtspNode, RkNode, SatsfNode, SstspNode, TatspNode, TsfN
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use simcore::rng::StreamDomain;
-use simcore::{CountingRng, RngStreams, SimControl, SimDuration, SimTime, Simulator, TimeSeries};
+use simcore::{
+    CountingRng, Histogram, RngStreams, SimControl, SimDuration, SimTime, Simulator, TimeSeries,
+};
 use sstsp_telemetry as telemetry;
 use std::sync::Arc;
 use sync_analysis::{SpreadTracker, SyncCriterion};
 use wireless::{
-    resolve_mesh, resolve_multihop, Channel, Delivery, DomainDecomposition, MhAttempt, PhyParams,
-    Topology, TxAttempt, WindowOutcome,
+    resolve_mesh, resolve_multihop, Channel, Delivery, DomainDecomposition, MeshResolver,
+    MhAttempt, MhDelivery, PhyParams, Topology, TxAttempt, WindowOutcome,
 };
 
 /// Binning of the per-BP spread distribution recorded into telemetry:
@@ -135,6 +138,21 @@ struct Scratch {
     /// Fast path: batched per-receiver delivery verdicts (parallel to
     /// `rx_ids`).
     rx_fates: Vec<Delivery>,
+    /// Mesh fast path: present-receiver deliveries of the current window,
+    /// in delivery order (parallel to `rx_fates` after the batch draw).
+    mh_rx: Vec<MhDelivery>,
+    /// Passive-hook fast path: stations that transmitted this BP, in slot
+    /// order, buffered for the end-of-BP batch callback.
+    batch_txs: Vec<NodeId>,
+    /// Passive-hook fast path: completed deliveries of this BP, in
+    /// delivery order, buffered for the end-of-BP batch callback.
+    batch_rxs: Vec<BatchRx>,
+    /// Passive-hook fast path: per-domain reference holders at BP end.
+    domain_refs: Vec<Option<NodeId>>,
+    /// Mesh fast path: reception instant per transmitting station of the
+    /// current window (constant across that station's receivers, so it is
+    /// computed once in the beacon pass instead of per delivery).
+    t_rx_by_tx: Vec<SimTime>,
 }
 
 impl Scratch {
@@ -147,20 +165,29 @@ impl Scratch {
             clocks: Vec::with_capacity(n),
             rx_ids: Vec::with_capacity(n),
             rx_fates: Vec::with_capacity(n),
+            mh_rx: Vec::with_capacity(n),
+            batch_txs: Vec::new(),
+            batch_rxs: Vec::new(),
+            domain_refs: Vec::new(),
+            t_rx_by_tx: vec![SimTime::ZERO; n],
         }
     }
 }
 
-/// Per-BP scratch block for the engine's hot-loop telemetry counters.
+/// Run-level scratch block for the engine's hot-loop telemetry counters.
 ///
 /// The hot loop increments these plain `u64`s unconditionally — cheaper
 /// than even the relaxed-atomic enabled check a `counter_add` call starts
 /// with — and [`flush`](BpCounters::flush) moves the whole block into the
-/// thread's registry shard with a single lock, once per beacon period,
-/// instead of one shard lock per recorded event (~2 n per BP at n
-/// stations). Totals are identical to per-event recording because counter
-/// merge is commutative; `tests/telemetry_reconcile.rs` pins the
-/// identities.
+/// thread's registry shard with a single lock, once per *run*, instead of
+/// one shard lock per recorded event (~2 n per BP at n stations) or per
+/// beacon period (nine string-keyed map lookups every BP, which dominated
+/// the enabled-mode overhead on small scenarios). Totals are identical to
+/// per-event recording because counter merge is commutative;
+/// `tests/telemetry_reconcile.rs` pins the identities. The trade: the
+/// engine's own counters become visible to [`telemetry::snapshot`] only
+/// after the run — the same cadence the per-event [`LocalCounter`] sites
+/// already have (the run epilogue calls `flush_local`).
 #[derive(Default)]
 struct BpCounters {
     window_silent: u64,
@@ -464,13 +491,21 @@ impl Network {
 
         // The large-n fast path (dense SoA node state, cached static
         // intents, batched delivery draws, quiescent-BP scan skipping) is
-        // bit-identical to the plain loop by construction; it stays off
-        // when a hook is attached (hooks observe per-delivery state the
-        // slim loop does not compute) and in multi-hop mode, and can be
-        // forced off for cross-checking with SSTSP_NO_FASTPATH=1.
-        let fastpath = !active
-            && topology.is_none()
+        // bit-identical to the plain loop by construction. It runs when
+        // the attached hook declares itself fast-path-safe (a passive
+        // observer fed one batched callback per BP instead of per-event
+        // dispatch), and covers mesh topologies that carry a domain
+        // decomposition (per-domain window resolution); topologies
+        // without one (line/ring/grid/rgg) stay on the plain loop. It can
+        // be forced off for cross-checking with SSTSP_NO_FASTPATH=1.
+        let caps = hook.capabilities();
+        let fastpath = (!active || caps.fastpath_safe)
+            && (topology.is_none() || domains.is_some())
             && std::env::var("SSTSP_NO_FASTPATH").map_or(true, |v| v != "1");
+        // A fast-path-safe hook rides along passively; `hooked` guards the
+        // per-event callbacks the slow path owes a full-fidelity hook.
+        let passive = active && fastpath;
+        let hooked = active && !fastpath;
         // One counter tick per run records which loop actually executed, so
         // equivalence tests can *prove* the slow path ran instead of
         // trusting the gate above.
@@ -483,6 +518,13 @@ impl Network {
             1,
         );
         let mut soa = NodeSoa::new(scenario.n_nodes as usize);
+        // Mesh fast path: reusable per-domain window resolver, built once
+        // per run from the decomposition (domain-major index permutation
+        // plus audible-domain lists and scratch buffers).
+        let mut mesh_resolver = match (&topology, &domains) {
+            (Some(t), Some(d)) if fastpath => Some(MeshResolver::new(t, d)),
+            _ => None,
+        };
 
         // Coarse per-phase wall-clock accounting for the BP loop, emitted
         // at run end through the structured log (`engine.prof`, info level
@@ -516,13 +558,20 @@ impl Network {
         let mut fault_actions: Vec<FaultAction> = Vec::new();
         let mut fault_jam = false;
         // Hot-loop telemetry is batched: plain increments during the BP,
-        // one shard flush per BP (see `BpCounters`).
+        // one shard flush per run (see `BpCounters`). The per-BP spread
+        // sample accumulates into a local histogram folded in at run end
+        // the same way (`dist_merge`).
         let mut bp_counters = BpCounters::default();
+        let mut spread_hist: Option<Histogram> = None;
+        // Tracks whether every station is currently present; maintained at
+        // each non-quiet BP so the delivery loops can skip the per-entry
+        // membership filter in the (overwhelmingly common) full-mesh case.
+        let mut all_present = present.iter().all(|&p| p);
         let mut snapshots: Vec<NodeSnapshot> =
-            Vec::with_capacity(if active { scenario.n_nodes as usize } else { 0 });
+            Vec::with_capacity(if hooked { scenario.n_nodes as usize } else { 0 });
 
         let mut sim: Simulator<u64> = Simulator::new(horizon);
-        if active {
+        if hooked {
             // Instrumented runs also cross-check simcore's event ordering
             // from the outside via the probe hook.
             let mut last = SimTime::ZERO;
@@ -552,7 +601,7 @@ impl Network {
             // changes); convergence invariants suspend after disturbances.
             let mut disturbed = false;
 
-            if active {
+            if hooked {
                 fault_actions.clear();
                 hook.on_bp_start(k, t0, &mut fault_actions);
             }
@@ -720,6 +769,10 @@ impl Network {
                 if let Some(a) = scenario.attacker {
                     disturbed |= t_secs >= a.start_s && t_secs < a.end_s;
                 }
+                // Churn, departures, and faults all run above, so a
+                // non-quiet BP recomputes the all-present flag once here;
+                // quiet BPs cannot change membership and keep it as-is.
+                all_present = present.iter().all(|&p| p);
             } // end of the non-quiet event scans
             lap!(0);
 
@@ -781,7 +834,7 @@ impl Network {
 
                     lap!(1);
                     let mut outcome = channel.resolve_window(attempts);
-                    if active {
+                    if hooked {
                         // Replay seam: a schedule-driven hook substitutes
                         // the recorded outcome after cross-checking `live`.
                         if let Some(replayed) = hook.on_window(k, &outcome) {
@@ -816,8 +869,10 @@ impl Network {
                             bp_counters.window_success += 1;
                             bp_counters.beacon_tx += 1;
                             let t_tx = t0 + window.delay_of(slot);
-                            if active {
+                            if hooked {
                                 hook.on_beacon_tx(k, winner, t_tx);
+                            } else if passive {
+                                scratch.batch_txs.push(winner);
                             }
                             // Sub-µs hardware timestamping jitter.
                             let jitter =
@@ -866,15 +921,43 @@ impl Network {
                                     let rx_jitter =
                                         jitter_rng.random_range(0.0..=scenario.timestamp_jitter_us);
                                     let local_rx = oscs[id as usize].local_us(t_rx) + rx_jitter;
-                                    let mut ctx =
-                                        node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local_rx);
-                                    nodes[id as usize].on_beacon(
-                                        &mut ctx,
-                                        ReceivedBeacon {
-                                            payload: beacon,
-                                            local_rx_us: local_rx,
-                                        },
-                                    );
+                                    // Passive capture reads the *virtual*
+                                    // clock: the SoA entry is refreshed only
+                                    // at BP end and can be stale mid-window.
+                                    let (clock_before, stats_before) = if passive {
+                                        (
+                                            nodes[id as usize].clock_us(local_rx),
+                                            nodes[id as usize].sstsp_stats(),
+                                        )
+                                    } else {
+                                        (0.0, None)
+                                    };
+                                    {
+                                        let mut ctx = node_ctx!(
+                                            proto_rngs,
+                                            &mut anchors,
+                                            &pcfg,
+                                            id,
+                                            local_rx
+                                        );
+                                        nodes[id as usize].on_beacon(
+                                            &mut ctx,
+                                            ReceivedBeacon {
+                                                payload: beacon,
+                                                local_rx_us: local_rx,
+                                            },
+                                        );
+                                    }
+                                    if passive {
+                                        scratch.batch_rxs.push(BatchRx {
+                                            src: winner,
+                                            dst: id,
+                                            t_rx,
+                                            clock_before_us: clock_before,
+                                            stats_before,
+                                            stats_after: nodes[id as usize].sstsp_stats(),
+                                        });
+                                    }
                                 }
                             } else {
                                 for id in 0..scenario.n_nodes {
@@ -952,6 +1035,198 @@ impl Network {
                                     }
                                 }
                             } // end of the plain (hook-capable) receiver loop
+                        }
+                    }
+                }
+                Some(topo) if mesh_resolver.is_some() => {
+                    // Mesh fast path: static intents served from the SoA,
+                    // per-domain window resolution over the domain-major
+                    // order with reusable buffers, and batched receiver
+                    // draws. Bit-identical to the plain multi-hop branch
+                    // below: static intents are exactly what the real
+                    // calls would return (debug-asserted), `MeshResolver`
+                    // is pinned output-identical to `resolve_mesh`, and
+                    // the split delivery passes preserve each RNG stream's
+                    // internal draw order (channel and jitter draws live
+                    // on separate streams).
+                    let resolver = mesh_resolver.as_mut().expect("guarded by arm");
+                    let attempts = &mut scratch.mh_attempts;
+                    attempts.clear();
+                    for id in 0..scenario.n_nodes {
+                        if !present[id as usize] {
+                            continue;
+                        }
+                        let intent = match soa.static_intent(id as usize) {
+                            Some(si) => {
+                                #[cfg(debug_assertions)]
+                                {
+                                    let pos = proto_rngs[id as usize].stream_pos();
+                                    let local = oscs[id as usize].local_us(t0);
+                                    let mut ctx =
+                                        node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
+                                    let real = nodes[id as usize].intent(&mut ctx);
+                                    assert_eq!(real, si, "static intent diverged for node {id}");
+                                    assert_eq!(
+                                        proto_rngs[id as usize].stream_pos(),
+                                        pos,
+                                        "static intent consumed randomness for node {id}"
+                                    );
+                                }
+                                si
+                            }
+                            None => {
+                                let local = oscs[id as usize].local_us(t0);
+                                let mut ctx = node_ctx!(proto_rngs, &mut anchors, &pcfg, id, local);
+                                nodes[id as usize].intent(&mut ctx)
+                            }
+                        };
+                        match intent {
+                            BeaconIntent::Silent => {}
+                            BeaconIntent::Contend => {
+                                let slot = window.draw_slot(&mut backoff_rngs[id as usize]);
+                                attempts.push(MhAttempt {
+                                    station: id,
+                                    slot,
+                                    relay: false,
+                                });
+                            }
+                            BeaconIntent::FixedSlot(slot) => attempts.push(MhAttempt {
+                                station: id,
+                                slot,
+                                relay: false,
+                            }),
+                            BeaconIntent::RelayAfterRx(slot) => attempts.push(MhAttempt {
+                                station: id,
+                                slot,
+                                relay: true,
+                            }),
+                        }
+                    }
+
+                    if channel.is_jammed() {
+                        jammed_windows += 1;
+                        bp_counters.window_jammed += 1;
+                        for a in attempts.iter() {
+                            if !a.relay {
+                                let local = oscs[a.station as usize].local_us(t0);
+                                let mut ctx =
+                                    node_ctx!(proto_rngs, &mut anchors, &pcfg, a.station, local);
+                                nodes[a.station as usize].on_tx_outcome(&mut ctx, true);
+                            }
+                        }
+                    } else if attempts.is_empty() {
+                        silent_windows += 1;
+                        bp_counters.window_silent += 1;
+                    } else {
+                        let airtime_slots = pcfg.beacon_airtime_slots;
+                        let out = resolver.resolve(topo, attempts, airtime_slots);
+
+                        // Beacons are produced at each transmitter's start
+                        // slot; deliveries happen one airtime later.
+                        scratch.payloads.fill(None);
+                        for &(station, slot) in &out.transmissions {
+                            let t_tx = t0 + window.delay_of(slot);
+                            bp_counters.beacon_tx += 1;
+                            if passive {
+                                scratch.batch_txs.push(station);
+                            }
+                            let jitter =
+                                jitter_rng.random_range(0.0..=scenario.timestamp_jitter_us);
+                            let tx_local = oscs[station as usize].local_us(t_tx) + jitter;
+                            let mut ctx =
+                                node_ctx!(proto_rngs, &mut anchors, &pcfg, station, tx_local);
+                            let payload = nodes[station as usize].make_beacon(&mut ctx);
+                            // Reception instant is per-transmitter, not
+                            // per-delivery: hoist it out of the receiver
+                            // loop (same integer-time expression the slow
+                            // path evaluates per delivery).
+                            scratch.t_rx_by_tx[station as usize] = t0
+                                + window.delay_of(slot)
+                                + phy.beacon_airtime(payload.is_secured())
+                                + phy.propagation();
+                            scratch.payloads[station as usize] = Some(payload);
+                        }
+                        // Transmit feedback: a transmission that reached at
+                        // least one receiver counts as clean.
+                        scratch.reached.fill(false);
+                        for d in &out.deliveries {
+                            scratch.reached[d.tx as usize] = true;
+                        }
+                        for &(station, _) in &out.transmissions {
+                            let ok = scratch.reached[station as usize];
+                            if ok {
+                                tx_successes += 1;
+                                bp_counters.window_success += 1;
+                            } else {
+                                tx_collisions += 1;
+                                bp_counters.window_collision += 1;
+                            }
+                            let local = oscs[station as usize].local_us(t0);
+                            let mut ctx =
+                                node_ctx!(proto_rngs, &mut anchors, &pcfg, station, local);
+                            nodes[station as usize].on_tx_outcome(&mut ctx, !ok);
+                        }
+                        // Two-pass batched deliveries: filter the present
+                        // receivers (in delivery order), take every
+                        // channel-error draw in one pass, then run jitter
+                        // and protocol processing for the survivors only.
+                        let rx_del = &mut scratch.mh_rx;
+                        rx_del.clear();
+                        if all_present {
+                            rx_del.extend_from_slice(&out.deliveries);
+                        } else {
+                            for d in &out.deliveries {
+                                if present[d.rx as usize] {
+                                    rx_del.push(*d);
+                                }
+                            }
+                        }
+                        bp_counters.rx_attempt += rx_del.len() as u64;
+                        channel.deliver_batch(&mut chan_rng, rx_del.len(), &mut scratch.rx_fates);
+                        for (d, &fate) in rx_del.iter().zip(scratch.rx_fates.iter()) {
+                            if fate == Delivery::Lost {
+                                bp_counters.rx_lost += 1;
+                                continue;
+                            }
+                            bp_counters.rx_delivered += 1;
+                            let payload = scratch.payloads[d.tx as usize]
+                                .expect("every delivery has a transmitter");
+                            let t_rx = scratch.t_rx_by_tx[d.tx as usize];
+                            let rx_jitter =
+                                jitter_rng.random_range(0.0..=scenario.timestamp_jitter_us);
+                            let local_rx = oscs[d.rx as usize].local_us(t_rx) + rx_jitter;
+                            // Passive capture reads the *virtual* clock: the
+                            // SoA entry is refreshed only at BP end and can
+                            // be stale mid-window.
+                            let (clock_before, stats_before) = if passive {
+                                (
+                                    nodes[d.rx as usize].clock_us(local_rx),
+                                    nodes[d.rx as usize].sstsp_stats(),
+                                )
+                            } else {
+                                (0.0, None)
+                            };
+                            {
+                                let mut ctx =
+                                    node_ctx!(proto_rngs, &mut anchors, &pcfg, d.rx, local_rx);
+                                nodes[d.rx as usize].on_beacon(
+                                    &mut ctx,
+                                    ReceivedBeacon {
+                                        payload,
+                                        local_rx_us: local_rx,
+                                    },
+                                );
+                            }
+                            if passive {
+                                scratch.batch_rxs.push(BatchRx {
+                                    src: d.tx,
+                                    dst: d.rx,
+                                    t_rx,
+                                    clock_before_us: clock_before,
+                                    stats_before,
+                                    stats_after: nodes[d.rx as usize].sstsp_stats(),
+                                });
+                            }
                         }
                     }
                 }
@@ -1178,10 +1453,13 @@ impl Network {
             // --- Metrics ----------------------------------------------
             lap!(3);
             tracker.sample(t_end, &scratch.clocks);
-            bp_counters.flush();
             if telemetry::enabled() {
                 if let Some(&spread) = tracker.series().values().last() {
-                    telemetry::dist_record("engine.spread_us", SPREAD_DIST, spread);
+                    spread_hist
+                        .get_or_insert_with(|| {
+                            Histogram::new(SPREAD_DIST.lo, SPREAD_DIST.hi, SPREAD_DIST.bins)
+                        })
+                        .record(spread);
                 }
             }
 
@@ -1225,7 +1503,7 @@ impl Network {
                 }
             }
 
-            if active {
+            if hooked {
                 snapshots.clear();
                 for i in 0..scenario.n_nodes as usize {
                     snapshots.push(NodeSnapshot {
@@ -1245,6 +1523,48 @@ impl Network {
                     reference: current_ref,
                     disturbed,
                 });
+            } else if passive {
+                // Batched dispatch for fast-path-safe hooks: one callback
+                // per BP carrying everything the per-event slow path would
+                // have reported. The SoA was refreshed by the fused sweep
+                // above, so the per-domain reference scan and the spread
+                // (min/max over the same qualifying clock set the slow
+                // path's `view_spread_us` uses) read end-of-BP state.
+                let domain_refs: Option<&[Option<NodeId>]> = if let Some(d) = &domains {
+                    scratch.domain_refs.clear();
+                    for members in &d.domains {
+                        scratch.domain_refs.push(
+                            members
+                                .iter()
+                                .copied()
+                                .find(|&id| present[id as usize] && soa.is_reference(id as usize)),
+                        );
+                    }
+                    Some(&scratch.domain_refs)
+                } else {
+                    None
+                };
+                let spread_us = (scratch.clocks.len() >= 2).then(|| {
+                    let mut lo = f64::INFINITY;
+                    let mut hi = f64::NEG_INFINITY;
+                    for &c in &scratch.clocks {
+                        lo = lo.min(c);
+                        hi = hi.max(c);
+                    }
+                    hi - lo
+                });
+                hook.on_bp_batch(&BpBatch {
+                    bp: k,
+                    t_end,
+                    txs: &scratch.batch_txs,
+                    rxs: &scratch.batch_rxs,
+                    domain_refs,
+                    reference: current_ref,
+                    spread_us,
+                    disturbed,
+                });
+                scratch.batch_txs.clear();
+                scratch.batch_rxs.clear();
             }
 
             lap!(5);
@@ -1268,14 +1588,24 @@ impl Network {
             }
         }
 
-        // Run-level simcore telemetry: event-loop pressure and RNG
-        // consumption. Gauges high-water across a sweep; counters sum.
+        // Run-level telemetry flush: the hot loop's counter block, the
+        // per-BP spread samples, and simcore's event-loop pressure and RNG
+        // consumption all land in the registry here, once per run. Gauges
+        // high-water across a sweep; counters and histogram bins sum.
+        bp_counters.flush();
+        if let Some(h) = &spread_hist {
+            telemetry::dist_merge("engine.spread_us", h);
+        }
         telemetry::gauge_max("engine.sim.events", sim.events_processed());
         telemetry::gauge_max("engine.queue.peak_pending", sim.peak_pending() as u64);
         telemetry::counter_add_many(&[
             ("engine.rng.chan_draws", chan_rng.draws()),
             ("engine.rng.jitter_draws", jitter_rng.draws()),
         ]);
+        // Fold this thread's pending per-event (`LocalCounter`) deltas into
+        // its shard: sweep worker threads never call `snapshot()`
+        // themselves, so the engine flushes at the end of every run.
+        telemetry::flush_local();
 
         let mut guard_rejections = 0u64;
         let mut mutesla_rejections = 0u64;

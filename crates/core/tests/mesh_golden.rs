@@ -68,10 +68,12 @@ const GOLDEN_ELECTIONS: [(u64, u32, Option<u32>, Option<u32>); 2] = [
 ];
 
 /// Telemetry pins for the domain-election machinery: (counter, total).
+/// `engine.path.fast == 1` proves the bridged mesh rides the per-domain
+/// fast path even with the (fast-path-safe) `TraceRecorder` attached.
 #[rustfmt::skip]
 const GOLDEN_COUNTERS: [(&str, u64); 4] = [
-    ("engine.path.fast", 0),
-    ("engine.path.slow", 1),
+    ("engine.path.fast", 1),
+    ("engine.path.slow", 0),
     ("sstsp.subordinate", 1),
     ("sstsp.sovereign_revert", 0),
 ];

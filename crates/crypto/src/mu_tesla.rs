@@ -295,7 +295,7 @@ impl MuTeslaSigner {
     pub fn sign(&mut self, payload: &[u8], j: usize) -> BeaconAuth {
         let n = self.schedule.n;
         assert!(j >= 1 && j <= n, "interval out of chain range");
-        telemetry::counter_add("mutesla.sign", 1);
+        telemetry::count!("mutesla.sign");
         // Fetch the key (position n-j) first: reaching it emits the
         // disclosed element (position n-j+1) into the recent window.
         let key = self.element_at(n - j);
@@ -480,7 +480,7 @@ impl MuTeslaVerifier {
         // interval (counters replay of old beacons).
         let current = self.schedule.interval_at(now_us);
         if current != Some(auth.interval as usize) {
-            telemetry::counter_add("mutesla.verify.wrong_interval", 1);
+            telemetry::count!("mutesla.verify.wrong_interval");
             return Err(VerifyError::WrongInterval {
                 claimed: auth.interval,
                 current: current.map(|c| c as u32),
@@ -511,7 +511,7 @@ impl MuTeslaVerifier {
         #[cfg(feature = "mutation-hooks")]
         let valid = valid || mutation::accept_unverified_keys();
         if !valid {
-            telemetry::counter_add("mutesla.verify.bad_key", 1);
+            telemetry::count!("mutesla.verify.bad_key");
             return Err(VerifyError::BadDisclosedKey);
         }
         if key_interval >= 1 {
@@ -548,7 +548,7 @@ impl MuTeslaVerifier {
                     // Buffer the fresh beacon before reporting: the forged
                     // previous beacon must not block future progress.
                     self.pending = Some((auth.interval, PayloadBuf::from(payload), auth.mac));
-                    telemetry::counter_add("mutesla.verify.forged_prev", 1);
+                    telemetry::count!("mutesla.verify.forged_prev");
                     return Err(VerifyError::PreviousBeaconForged);
                 }
             }
@@ -557,7 +557,7 @@ impl MuTeslaVerifier {
         };
 
         self.pending = Some((auth.interval, PayloadBuf::from(payload), auth.mac));
-        telemetry::counter_add("mutesla.verify.ok", 1);
+        telemetry::count!("mutesla.verify.ok");
         Ok(released)
     }
 

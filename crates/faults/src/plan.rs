@@ -245,6 +245,41 @@ impl FromStr for MeshSpec {
         if parts.next().is_some() {
             return Err(SpecError(format!("trailing mesh args in `{s}`")));
         }
+        // Value validation: a degenerate spec that parses but panics the
+        // topology generators (zero islands, empty island grid, zero-area
+        // disk) must be a named-token parse error, not a downstream panic.
+        match mesh {
+            MeshSpec::Rgg { side, range } => {
+                if !(side.is_finite() && side > 0.0) {
+                    return Err(SpecError(format!(
+                        "rgg `side` must be a positive finite number, got `{side}`"
+                    )));
+                }
+                if !(range.is_finite() && range > 0.0) {
+                    return Err(SpecError(format!(
+                        "rgg `range` must be a positive finite number, got `{range}`"
+                    )));
+                }
+            }
+            MeshSpec::Bridged {
+                domains,
+                cols,
+                rows,
+            } => {
+                if domains < 2 {
+                    return Err(SpecError(format!(
+                        "bridged `domains` must be at least 2, got `{domains}`"
+                    )));
+                }
+                if cols == 0 {
+                    return Err(SpecError("bridged `cols` must be at least 1".into()));
+                }
+                if rows == 0 {
+                    return Err(SpecError("bridged `rows` must be at least 1".into()));
+                }
+            }
+            MeshSpec::Line | MeshSpec::Ring => {}
+        }
         Ok(mesh)
     }
 }
@@ -728,6 +763,34 @@ mod tests {
         ] {
             let spec = format!("n=8 dur=20 seed=1 m=4 delta=300 plan=0 {bad}");
             assert!(spec.parse::<FuzzCase>().is_err(), "accepted `{bad}`");
+        }
+    }
+
+    /// Degenerate mesh values parse numerically but would panic the
+    /// topology generators; they must be named-token parse errors instead.
+    #[test]
+    fn degenerate_mesh_values_are_rejected_with_named_tokens() {
+        for (bad, token) in [
+            ("bridged:0:3:2", "domains"),
+            ("bridged:1:3:2", "domains"),
+            ("bridged:2:0:2", "cols"),
+            ("bridged:2:3:0", "rows"),
+            ("rgg:0:1", "side"),
+            ("rgg:-3:1", "side"),
+            ("rgg:inf:1", "side"),
+            ("rgg:100:0", "range"),
+            ("rgg:100:NaN", "range"),
+        ] {
+            let SpecError(msg) = bad.parse::<MeshSpec>().unwrap_err();
+            assert!(
+                msg.contains(&format!("`{token}`")),
+                "error for `{bad}` does not name `{token}`: {msg}"
+            );
+        }
+        // The smallest legal shapes still parse.
+        for ok in ["bridged:2:1:1", "rgg:0.5:0.5"] {
+            ok.parse::<MeshSpec>()
+                .unwrap_or_else(|e| panic!("rejected `{ok}`: {e:?}"));
         }
     }
 

@@ -37,7 +37,8 @@ use protocols::api::{AnchorRegistry, BeaconPayload, NodeId};
 use simcore::SimTime;
 use sstsp::engine::{Network, RunResult};
 use sstsp::instrument::{
-    BpView, DeliveryCtx, DeliveryFate, DeliveryObs, EngineHook, FaultAction, WindowOutcome,
+    BpView, DeliveryCtx, DeliveryFate, DeliveryObs, EngineHook, FaultAction, HookCaps,
+    WindowOutcome,
 };
 use sstsp::invariants::Violation;
 use sstsp::scenario::ScenarioConfig;
@@ -239,6 +240,15 @@ struct ReplayHook<'a> {
 }
 
 impl EngineHook for ReplayHook<'_> {
+    // Not fast-path-safe: replay substitutes recorded window outcomes via
+    // `on_window`, a seam only the per-event slow path offers — and the
+    // divergence check needs the event-for-event trace it produces.
+    fn capabilities(&self) -> HookCaps {
+        HookCaps {
+            fastpath_safe: false,
+        }
+    }
+
     fn on_run_start(&mut self, scenario: &ScenarioConfig, anchors: &AnchorRegistry) {
         self.inner.on_run_start(scenario, anchors);
     }

@@ -8,17 +8,22 @@
 //! test is that claim's enforcement across three surfaces:
 //!
 //! 1. the pinned golden scenario shapes (single-hop, reference-change
-//!    ablation, multi-hop line — where topology disables the fast path and
-//!    the switch must be inert), plus the large-n scenarios the fast path
-//!    exists for;
+//!    ablation, multi-hop line — where an undecomposed topology disables
+//!    the fast path and the switch must be inert), plus the large-n
+//!    scenarios the fast path exists for;
 //! 2. a bounded batch of fuzzer-generated scenarios (diverse n, duration,
 //!    seed, protocol parameters, shortened chains), each run plain under
-//!    both settings *and* under the fault harness — hooked runs always
-//!    take the legacy path, so there the switch must change nothing at
+//!    both settings *and* under the fault harness — full-fidelity hooks
+//!    force the legacy path, so there the switch must change nothing at
 //!    all;
 //! 3. telemetry totals: with recording live, both paths must produce the
 //!    identical counter/gauge/distribution snapshot (batched draws consume
-//!    exactly as many RNG draws as per-receiver draws did).
+//!    exactly as many RNG draws as per-receiver draws did);
+//! 4. bridged meshes, which carry a domain decomposition and therefore
+//!    ride the per-domain fast path by default;
+//! 5. fast-path-safe hooks: a `TraceRecorder` fed by the batched per-BP
+//!    callback must record the identical event stream the per-event slow
+//!    dispatch produces.
 //!
 //! Everything lives in one `#[test]`: the switch is a process-global
 //! environment variable, so concurrent tests in this binary would race on
@@ -27,7 +32,7 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use sstsp::scenario::TopologySpec;
-use sstsp::{Network, ProtocolKind, RunResult, ScenarioConfig};
+use sstsp::{Network, ProtocolKind, RunResult, ScenarioConfig, TraceRecorder};
 use sstsp_faults::fuzz::{random_case, random_mesh_case};
 use sstsp_faults::run_case;
 
@@ -188,9 +193,10 @@ fn fastpath_and_legacy_runs_are_bit_identical() {
     assert_eq!(slow_snap.counter("engine.path.slow"), 1, "switch honored");
 
     // --- 4. Mesh topologies --------------------------------------------
-    // A topology self-disables the fast path, so the env switch must be
-    // inert on meshes — and the run must be bit-identical either way,
-    // including the per-domain report.
+    // A bridged mesh carries a domain decomposition, so it rides the
+    // per-domain fast path by default; the env switch must fall back to
+    // the plain multi-hop loop with bit-identical output, including the
+    // per-domain report.
     let mut mesh = ScenarioConfig::new(ProtocolKind::Sstsp, 13, 12.0, 7);
     mesh.topology = Some(TopologySpec::Bridged {
         domains: 2,
@@ -199,25 +205,75 @@ fn fastpath_and_legacy_runs_are_bit_identical() {
     });
     compare_plain(&mesh, "bridged-mesh golden shape");
 
-    // Telemetry proof that the slow path actually ran under topology with
-    // the fast-path switch in its default (enabled) position.
-    let mesh_snap = {
+    // Telemetry proof that the fast path actually engaged under the
+    // decomposed topology with the switch in its default position — and
+    // that, engine.path.* aside, both paths leave identical telemetry.
+    let mesh_snap_for = |enabled: bool| {
         let _guard = sstsp_telemetry::recording();
-        with_fastpath(true, || {
+        with_fastpath(enabled, || {
             std::hint::black_box(Network::build(&mesh).run());
         });
         sstsp_telemetry::snapshot()
     };
+    let mesh_snap = mesh_snap_for(true);
+    let mesh_slow_snap = mesh_snap_for(false);
     assert_eq!(
         mesh_snap.counter("engine.path.fast"),
-        0,
-        "mesh run must not take the fast path"
+        1,
+        "decomposed mesh takes the per-domain fast path"
+    );
+    assert_eq!(mesh_snap.counter("engine.path.slow"), 0);
+    assert_eq!(mesh_slow_snap.counter("engine.path.fast"), 0);
+    assert_eq!(
+        mesh_slow_snap.counter("engine.path.slow"),
+        1,
+        "switch honored on meshes"
     );
     assert_eq!(
-        mesh_snap.counter("engine.path.slow"),
-        1,
-        "mesh run takes the slow path exactly once"
+        sans_path(&mesh_snap),
+        sans_path(&mesh_slow_snap),
+        "mesh telemetry counters"
     );
+    assert_eq!(
+        render_sans_path(&mesh_snap),
+        render_sans_path(&mesh_slow_snap),
+        "mesh telemetry distributions"
+    );
+
+    // --- 5. Fast-path-safe hooks ---------------------------------------
+    // A `TraceRecorder` declares itself fast-path-safe: the fast path keeps
+    // running and feeds it one batched callback per BP. The recorded trace
+    // must be event-for-event identical to the per-event slow dispatch —
+    // on the single-hop shape and on the bridged mesh (which adds the
+    // per-domain election transcript).
+    for (cfg, name) in [
+        (&single_hop, "single-hop traced"),
+        (&mesh, "bridged-mesh traced"),
+    ] {
+        let run_traced = |enabled: bool| {
+            with_fastpath(enabled, || {
+                let _guard = sstsp_telemetry::recording();
+                let mut tracer = TraceRecorder::new();
+                let result = Network::build(cfg).run_with_hook(&mut tracer);
+                (result, tracer.into_events(), sstsp_telemetry::snapshot())
+            })
+        };
+        let (fast, fast_events, fast_snap) = run_traced(true);
+        let (slow, slow_events, slow_snap) = run_traced(false);
+        assert_identical(&fast, &slow, name);
+        assert_eq!(fast_events, slow_events, "{name}: trace events");
+        assert_eq!(
+            fast_snap.counter("engine.path.fast"),
+            1,
+            "{name}: traced run stays on the fast path"
+        );
+        assert_eq!(slow_snap.counter("engine.path.fast"), 0, "{name}");
+        assert_eq!(
+            sans_path(&fast_snap),
+            sans_path(&slow_snap),
+            "{name}: telemetry counters with hook attached"
+        );
+    }
 
     // Fuzzer-generated mesh cases (fresh RNG stream: the seed-2006 stream
     // above must stay byte-stable), plain and harnessed.

@@ -420,7 +420,7 @@ impl SstspNode {
         self.missed_bps = 0;
         self.eligible_bps = 0;
         self.stats.elections_won += 1;
-        telemetry::counter_add("sstsp.election.won", 1);
+        telemetry::count!("sstsp.election.won");
     }
 
     fn step_down(&mut self) {
@@ -557,7 +557,7 @@ impl SstspNode {
         };
         if !takeover && diff > guard {
             self.stats.guard_rejections += 1;
-            telemetry::counter_add("sstsp.reject.guard", 1);
+            telemetry::count!("sstsp.reject.guard");
             self.rejections_this_bp += 1;
             // Multi-hop self-correction: persistently rejecting our own
             // upstream means *our* clock left the envelope (a clock frozen
@@ -590,7 +590,7 @@ impl SstspNode {
                 Ok(released) => released,
                 Err(_) => {
                     self.stats.mutesla_rejections += 1;
-                    telemetry::counter_add("sstsp.reject.mutesla", 1);
+                    telemetry::count!("sstsp.reject.mutesla");
                     self.rejections_this_bp += 1;
                     return;
                 }
@@ -600,7 +600,7 @@ impl SstspNode {
                 // No authenticated anchor for this sender: an external
                 // attacker, whose beacons cannot be authenticated at all.
                 self.stats.unknown_anchor += 1;
-                telemetry::counter_add("sstsp.reject.unknown_anchor", 1);
+                telemetry::count!("sstsp.reject.unknown_anchor");
                 return;
             };
             // Reuse the retired verifier for this source when one is
@@ -635,7 +635,7 @@ impl SstspNode {
                             .is_some_and(|r| !r.is_bridge() && r.is_bridge_node(src));
                     if subordinates {
                         self.sub_missed = 0;
-                        telemetry::counter_add("sstsp.subordinate", 1);
+                        telemetry::count!("sstsp.subordinate");
                     } else {
                         self.is_reference = false;
                     }
@@ -657,7 +657,7 @@ impl SstspNode {
                         // event as joining a network.
                         self.adjusted.step_to(rx.local_rx_us, ts_ref);
                         self.stats.clock_steps += 1;
-                        telemetry::counter_add("sstsp.clock_step", 1);
+                        telemetry::count!("sstsp.clock_step");
                         self.guard_locked = false;
                     }
                     released
@@ -668,7 +668,7 @@ impl SstspNode {
                     // still gets the cheap validation path.
                     self.cache_verifier(src, candidate);
                     self.stats.mutesla_rejections += 1;
-                    telemetry::counter_add("sstsp.reject.mutesla", 1);
+                    telemetry::count!("sstsp.reject.mutesla");
                     self.rejections_this_bp += 1;
                     return;
                 }
@@ -678,7 +678,7 @@ impl SstspNode {
         // The beacon passed every check: it is evidence of a live
         // reference.
         self.stats.accepted += 1;
-        telemetry::counter_add("sstsp.accept", 1);
+        telemetry::count!("sstsp.accept");
         self.saw_beacon = true;
         self.missed_bps = 0;
         self.sub_missed = 0;
@@ -734,7 +734,7 @@ impl SstspNode {
                 .is_ok()
             {
                 self.stats.retargets += 1;
-                telemetry::counter_add("sstsp.retarget", 1);
+                telemetry::count!("sstsp.retarget");
             }
         }
     }
@@ -755,11 +755,11 @@ impl SstspNode {
         let total: u32 = self.rejection_window.iter().sum();
         if total >= policy.rejection_threshold {
             self.stats.alerts += 1;
-            telemetry::counter_add("sstsp.alert", 1);
+            telemetry::count!("sstsp.alert");
             self.rejection_window.clear();
             if policy.restart {
                 self.stats.recovery_restarts += 1;
-                telemetry::counter_add("sstsp.recovery_restart", 1);
+                telemetry::count!("sstsp.recovery_restart");
                 self.step_down();
                 self.synchronized = false;
                 self.guard_locked = false;
@@ -778,13 +778,13 @@ impl SstspNode {
                 let now = self.adjusted.value(ctx.local_us);
                 self.adjusted.step_to(ctx.local_us, now + mean);
                 self.stats.clock_steps += 1;
-                telemetry::counter_add("sstsp.clock_step", 1);
+                telemetry::count!("sstsp.clock_step");
                 self.synchronized = true;
                 self.phase = Phase::Fine;
                 self.missed_bps = 0;
                 self.eligible_bps = 0;
                 self.stats.coarse_syncs += 1;
-                telemetry::counter_add("sstsp.coarse_sync", 1);
+                telemetry::count!("sstsp.coarse_sync");
                 true
             }
             None => false,
@@ -1007,7 +1007,7 @@ impl SyncProtocol for SstspNode {
                         if self.desync_bps > 30 {
                             self.desync_bps = 0;
                             self.stats.recovery_restarts += 1;
-                            telemetry::counter_add("sstsp.recovery_restart", 1);
+                            telemetry::count!("sstsp.recovery_restart");
                             self.step_down();
                             self.synchronized = false;
                             self.guard_locked = false;
@@ -1044,7 +1044,7 @@ impl SyncProtocol for SstspNode {
                             self.sub_missed = 0;
                             self.samples.clear();
                             self.pending.clear();
-                            telemetry::counter_add("sstsp.sovereign_revert", 1);
+                            telemetry::count!("sstsp.sovereign_revert");
                         }
                     }
                 }
@@ -1145,9 +1145,11 @@ impl SyncProtocol for SstspNode {
                         // Domain-mode gateways never contend. Domain
                         // candidacy is deterministic but needs the station
                         // id (not known here), and single-hop contention
-                        // draws randomness — defer both. (Moot in
-                        // practice: the fast path never runs under a
-                        // topology, and mesh roles exist only there.)
+                        // draws randomness — defer both to the real
+                        // `intent()` call. The mesh fast path takes this
+                        // `None` fallback for non-bridge contenders; the
+                        // deferred call is deterministic (candidate slot
+                        // from role + id), so bit-identity still holds.
                         match domain_role {
                             Some(role) if role.is_bridge() => Some(BeaconIntent::Silent),
                             _ => None,

@@ -35,7 +35,23 @@ pub mod trace;
 
 pub use reader::{parse_events, parse_trace, RecordedTrace, TraceReadError};
 pub use registry::{
-    counter_add, counter_add_many, dist_record, enabled, gauge_max, recording, reset, set_enabled,
-    snapshot, DistSpec, RecordingGuard, Snapshot,
+    counter_add, counter_add_many, dist_merge, dist_record, enabled, flush_local, gauge_max,
+    recording, reset, set_enabled, snapshot, DistSpec, LocalCounter, RecordingGuard, Snapshot,
 };
 pub use trace::{RxOutcome, TraceEncodeError, TraceEvent, TRACE_SCHEMA};
+
+/// Count one event at this site into a per-site [`LocalCounter`] static
+/// (thread-batched; folded into the registry by [`flush_local`], which
+/// [`snapshot`] and the engine's run epilogue call). Use for scattered,
+/// data-dependent event sites; pass an explicit delta as the second
+/// argument when counting more than one event.
+#[macro_export]
+macro_rules! count {
+    ($key:literal) => {
+        $crate::count!($key, 1)
+    };
+    ($key:literal, $delta:expr) => {{
+        static SITE: $crate::LocalCounter = $crate::LocalCounter::new($key);
+        SITE.add($delta);
+    }};
+}

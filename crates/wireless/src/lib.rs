@@ -31,6 +31,8 @@ pub mod phy;
 pub mod topology;
 
 pub use channel::{Channel, Delivery, TxAttempt, WindowOutcome};
-pub use multihop::{resolve_mesh, resolve_multihop, MhAttempt, MhDelivery, MhOutcome};
+pub use multihop::{
+    resolve_mesh, resolve_multihop, MeshResolver, MhAttempt, MhDelivery, MhOutcome,
+};
 pub use phy::{PhyParams, FRAME_OVERHEAD_SSTSP, FRAME_OVERHEAD_TSF};
-pub use topology::{DomainDecomposition, Topology};
+pub use topology::{DomainDecomposition, DomainOrder, Topology};

@@ -16,7 +16,7 @@
 //! With the full graph this resolution degenerates exactly to the
 //! single-hop rules (verified by a test below).
 
-use crate::topology::{DomainDecomposition, Topology};
+use crate::topology::{DomainDecomposition, DomainOrder, Topology};
 use serde::{Deserialize, Serialize};
 
 /// A station's declared behaviour in a multi-hop beacon window.
@@ -235,6 +235,230 @@ pub fn resolve_mesh(
     }
 }
 
+/// Allocation-free per-domain window resolver: [`resolve_mesh`] with every
+/// buffer reused across windows and the per-transmission audible-domain
+/// sets (home domain + neighbors' domains, sorted and deduped — invariant
+/// over a run) precomputed once. Decision rules, orders, and outputs are
+/// **bit-identical to [`resolve_mesh`]** — differential tests pin this —
+/// so the engine's fast path can call it every beacon period without
+/// perturbing goldens or allocating.
+///
+/// Deliveries are produced domain-by-domain over the contiguous ranges of
+/// a domain-major [`DomainOrder`] (members ascending within a domain,
+/// identical to the decomposition's member lists, so the output order
+/// matches [`resolve_mesh`] exactly).
+pub struct MeshResolver {
+    order: DomainOrder,
+    /// Station id → home-domain index.
+    home: Vec<u32>,
+    /// Concatenated per-station audible-domain lists.
+    audible: Vec<u32>,
+    /// Station id → `(start, end)` range into [`audible`](Self::audible).
+    audible_ranges: Vec<(u32, u32)>,
+    sorted: Vec<MhAttempt>,
+    by_domain: Vec<Vec<(u32, u32)>>,
+    /// Station id → bitmask over the home bucket: bit `i` set iff the
+    /// station hears bucket transmission `i`. Rebuilt (cleared + scattered
+    /// from each transmitter's adjacency list) per domain per window.
+    hear: Vec<u64>,
+    /// Deliveries bucketed by slot during generation (grown lazily to the
+    /// highest slot seen, reused across windows). Concatenating the
+    /// buckets in slot order after a stable per-bucket sort by receiver
+    /// reproduces `resolve_mesh`'s stable `(slot, rx)` sort at a fraction
+    /// of the cost: each bucket is a concatenation of per-domain
+    /// receiver-ascending runs, which the adaptive stable sort merges in
+    /// near-linear time.
+    per_slot: Vec<Vec<MhDelivery>>,
+    /// Fallback staging for over-wide buckets (shares `per_slot` routing).
+    spill: Vec<MhDelivery>,
+    out: MhOutcome,
+}
+
+impl MeshResolver {
+    /// Build a resolver for one `(topology, decomposition)` pair.
+    ///
+    /// # Panics
+    /// Panics if `decomp` does not cover exactly `topology.len()` stations.
+    pub fn new(topology: &Topology, decomp: &DomainDecomposition) -> Self {
+        assert_eq!(
+            decomp.domain_of.len(),
+            topology.len() as usize,
+            "decomposition does not match the topology"
+        );
+        let mut audible = Vec::new();
+        let mut audible_ranges = Vec::with_capacity(topology.len() as usize);
+        let mut doms: Vec<u32> = Vec::new();
+        for s in 0..topology.len() {
+            doms.clear();
+            doms.push(decomp.domain_of(s));
+            doms.extend(topology.neighbors(s).iter().map(|&v| decomp.domain_of(v)));
+            doms.sort_unstable();
+            doms.dedup();
+            let start = audible.len() as u32;
+            audible.extend_from_slice(&doms);
+            audible_ranges.push((start, audible.len() as u32));
+        }
+        MeshResolver {
+            order: DomainOrder::new(decomp),
+            home: decomp.domain_of.clone(),
+            audible,
+            audible_ranges,
+            sorted: Vec::new(),
+            by_domain: vec![Vec::new(); decomp.len()],
+            hear: vec![0; topology.len() as usize],
+            per_slot: Vec::new(),
+            spill: Vec::new(),
+            out: MhOutcome {
+                transmissions: Vec::new(),
+                deliveries: Vec::new(),
+            },
+        }
+    }
+
+    /// The domain-major order the resolver iterates deliveries in.
+    pub fn order(&self) -> &DomainOrder {
+        &self.order
+    }
+
+    /// Resolve one beacon window; the returned outcome is valid until the
+    /// next call. `topology` must be the one the resolver was built for.
+    pub fn resolve(
+        &mut self,
+        topology: &Topology,
+        attempts: &[MhAttempt],
+        airtime_slots: u32,
+    ) -> &MhOutcome {
+        assert!(airtime_slots > 0, "beacons occupy at least one slot");
+        self.sorted.clear();
+        self.sorted.extend_from_slice(attempts);
+        self.sorted.sort_by_key(|a| (a.slot, a.station));
+        self.out.transmissions.clear();
+        self.out.deliveries.clear();
+        for bucket in &mut self.by_domain {
+            bucket.clear();
+        }
+
+        for a in &self.sorted {
+            let home = &self.by_domain[self.home[a.station as usize] as usize];
+            let blocked = if a.relay {
+                home.iter().any(|&(u, s)| {
+                    topology.are_neighbors(a.station, u)
+                        && s <= a.slot
+                        && a.slot < s + airtime_slots
+                })
+            } else {
+                home.iter()
+                    .any(|&(u, s)| s < a.slot && topology.are_neighbors(a.station, u))
+            };
+            if blocked {
+                continue;
+            }
+            self.out.transmissions.push((a.station, a.slot));
+            let (start, end) = self.audible_ranges[a.station as usize];
+            for i in start..end {
+                let d = self.audible[i as usize];
+                self.by_domain[d as usize].push((a.station, a.slot));
+            }
+        }
+
+        // Size the slot buckets to the widest slot decided this window.
+        let max_slot = self
+            .out
+            .transmissions
+            .iter()
+            .map(|&(_, s)| s)
+            .max()
+            .unwrap_or(0) as usize;
+        if self.per_slot.len() <= max_slot {
+            self.per_slot.resize_with(max_slot + 1, Vec::new);
+        }
+
+        for d in 0..self.order.num_domains() {
+            let bucket = &self.by_domain[d];
+            let members = self.order.members(d);
+            if bucket.is_empty() {
+                continue;
+            }
+            if bucket.len() > 64 {
+                // Bucket too wide for the bitmask kernel (adversarial
+                // attempt storms); fall back to the exact per-member scan,
+                // routed through the same slot buckets.
+                self.spill.clear();
+                for &rx in members {
+                    deliveries_for_rx(topology, rx, bucket, airtime_slots, &mut self.spill);
+                }
+                for &del in &self.spill {
+                    self.per_slot[del.slot as usize].push(del);
+                }
+                continue;
+            }
+
+            // Bitmask delivery kernel, replacing the per-member
+            // `are_neighbors` binary searches with one adjacency-list
+            // scatter per bucket transmission. Bit `i` of `hear[rx]`
+            // means rx is a neighbor of bucket tx `i` (bits for rx's own
+            // transmissions can never be set — adjacency has no
+            // self-loops — which encodes rule 3's `v != rx` exemption
+            // for free). Decoding a member is then pure bit arithmetic;
+            // ascending bit order equals bucket order, so deliveries are
+            // pushed exactly as `deliveries_for_rx` would push them.
+            for &rx in members {
+                self.hear[rx as usize] = 0;
+            }
+            let mut garble = [0u64; 64];
+            for (i, &(u, si)) in bucket.iter().enumerate() {
+                let bit = 1u64 << i;
+                for &v in topology.neighbors(u) {
+                    if self.home[v as usize] as usize == d {
+                        self.hear[v as usize] |= bit;
+                    }
+                }
+                // Garble mask: every other-station transmission whose
+                // airtime overlaps tx `i` (rule 3's `v != tx` is a
+                // station-id comparison, so same-station duplicates are
+                // excluded at any index).
+                for (j, &(uj, sj)) in bucket.iter().enumerate() {
+                    if uj != u && overlaps(si, sj, airtime_slots) {
+                        garble[i] |= 1u64 << j;
+                    }
+                }
+            }
+            for &rx in members {
+                let mask = self.hear[rx as usize];
+                if mask == 0 {
+                    continue;
+                }
+                // Half-duplex: first own transmission in the bucket, as
+                // `deliveries_for_rx` finds it.
+                let own: Option<u32> = bucket.iter().find(|&&(u, _)| u == rx).map(|&(_, s)| s);
+                let mut m = mask;
+                while m != 0 {
+                    let i = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let (tx, s) = bucket[i];
+                    if let Some(os) = own {
+                        if overlaps(s, os, airtime_slots) {
+                            continue;
+                        }
+                    }
+                    if mask & garble[i] == 0 {
+                        self.per_slot[s as usize].push(MhDelivery { rx, tx, slot: s });
+                    }
+                }
+            }
+        }
+        for bucket in self.per_slot.iter_mut() {
+            if bucket.is_empty() {
+                continue;
+            }
+            bucket.sort_by_key(|d| d.rx);
+            self.out.deliveries.extend_from_slice(bucket);
+            bucket.clear();
+        }
+        &self.out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +642,61 @@ mod tests {
         // Both islands transmit in parallel: spatial reuse across domains.
         assert!(global.transmissions.contains(&(0, 0)));
         assert!(global.transmissions.contains(&(7, 0)));
+    }
+
+    #[test]
+    fn mesh_resolver_matches_resolve_mesh_across_reused_windows() {
+        // One resolver, many windows with different attempt mixes: every
+        // outcome must be bit-identical to a fresh resolve_mesh call
+        // (proving the scratch buffers fully reset between windows).
+        let (t, d) = Topology::bridged(3, 3, 2);
+        let mut r = MeshResolver::new(&t, &d);
+        let windows: [&[MhAttempt]; 5] = [
+            &[plain(0, 0), plain(7, 0), relay(18, 8), plain(3, 5)],
+            &[],
+            &[
+                plain(2, 2),
+                plain(9, 2),
+                plain(16, 2),
+                relay(19, 10),
+                relay(18, 10),
+            ],
+            &[plain(0, 0)],
+            &[
+                relay(18, 0),
+                relay(19, 0),
+                plain(5, 3),
+                plain(12, 3),
+                plain(17, 16),
+            ],
+        ];
+        for attempts in windows {
+            assert_eq!(
+                r.resolve(&t, attempts, A),
+                &resolve_mesh(&t, &d, attempts, A)
+            );
+        }
+    }
+
+    #[test]
+    fn mesh_resolver_matches_on_awkward_partitions() {
+        // Same partition-independence property resolve_mesh has.
+        let t = Topology::grid(3, 3);
+        let attempts = [plain(0, 0), plain(8, 0), relay(4, 9), plain(2, 3)];
+        for decomp in [
+            crate::topology::DomainDecomposition::from_partition(
+                (0..9).map(|i| vec![i]).collect(),
+                &t,
+            ),
+            crate::topology::DomainDecomposition::from_partition(vec![(0..9).collect()], &t),
+            t.clique_domains(),
+        ] {
+            let mut r = MeshResolver::new(&t, &decomp);
+            assert_eq!(
+                r.resolve(&t, &attempts, A),
+                &resolve_mesh(&t, &decomp, &attempts, A)
+            );
+        }
     }
 
     #[test]

@@ -395,6 +395,74 @@ impl DomainDecomposition {
     }
 }
 
+/// Domain-major index permutation over a [`DomainDecomposition`]: every
+/// station id, laid out so each domain's members occupy one contiguous
+/// range (members ascending within a domain, domains in decomposition
+/// order). Engine fast paths iterate per-domain state as contiguous
+/// slices through this order instead of chasing `domain_of` lookups, and
+/// [`pos_of`](Self::pos_of) inverts the permutation exactly — a proptest
+/// pins the round-trip for arbitrary decompositions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainOrder {
+    /// Position → station id (the permutation itself).
+    perm: Vec<u32>,
+    /// Station id → position in [`perm`](Self::perm).
+    pos_of: Vec<u32>,
+    /// Per-domain `(start, end)` ranges into `perm`, in domain order.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl DomainOrder {
+    /// Build the domain-major order for `decomp`.
+    pub fn new(decomp: &DomainDecomposition) -> Self {
+        let n = decomp.domain_of.len();
+        let mut perm = Vec::with_capacity(n);
+        let mut pos_of = vec![u32::MAX; n];
+        let mut ranges = Vec::with_capacity(decomp.len());
+        for members in &decomp.domains {
+            let start = perm.len() as u32;
+            for &id in members {
+                pos_of[id as usize] = perm.len() as u32;
+                perm.push(id);
+            }
+            ranges.push((start, perm.len() as u32));
+        }
+        debug_assert_eq!(perm.len(), n, "decomposition covers every station");
+        DomainOrder {
+            perm,
+            pos_of,
+            ranges,
+        }
+    }
+
+    /// Number of domains.
+    pub fn num_domains(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Station ids of domain `d`, ascending (a contiguous slice of the
+    /// permutation — identical to the decomposition's member list).
+    pub fn members(&self, d: usize) -> &[u32] {
+        let (start, end) = self.ranges[d];
+        &self.perm[start as usize..end as usize]
+    }
+
+    /// The full permutation, domain-major.
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// Position of station `id` in the permutation.
+    pub fn pos_of(&self, id: u32) -> u32 {
+        self.pos_of[id as usize]
+    }
+
+    /// Station at position `pos` of the permutation.
+    pub fn id_at(&self, pos: u32) -> u32 {
+        self.perm[pos as usize]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,7 +5,10 @@
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use wireless::{resolve_mesh, resolve_multihop, DomainDecomposition, MhAttempt, Topology};
+use wireless::{
+    resolve_mesh, resolve_multihop, DomainDecomposition, DomainOrder, MeshResolver, MhAttempt,
+    Topology,
+};
 
 /// Symmetric (j ∈ adj(i) ⇔ i ∈ adj(j)) and irreflexive (i ∉ adj(i)).
 fn assert_symmetric_irreflexive(t: &Topology) {
@@ -163,6 +166,82 @@ proptest! {
         let per_node =
             DomainDecomposition::from_partition((0..n).map(|i| vec![i]).collect(), &t);
         prop_assert_eq!(resolve_mesh(&t, &per_node, &attempts, airtime), reference);
+    }
+
+    /// The domain-major permutation round-trips node ids for arbitrary
+    /// decompositions: `id_at(pos_of(id)) == id` and `pos_of(id_at(p)) == p`
+    /// for every station/position, each domain's contiguous slice equals
+    /// the decomposition's member list, and the ranges tile `0..n` exactly.
+    #[test]
+    fn domain_order_round_trips_arbitrary_decompositions(
+        seed in any::<u64>(),
+        n in 2u32..=32,
+        assignment in proptest::collection::vec(0u32..6, 32..33),
+    ) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let t = Topology::random_disk(n, 100.0, 52.0, &mut rng);
+        // An arbitrary partition: group stations by their drawn label,
+        // dropping empty groups (from_partition rejects those).
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); 6];
+        for i in 0..n {
+            groups[assignment[i as usize] as usize].push(i);
+        }
+        groups.retain(|g| !g.is_empty());
+        let d = DomainDecomposition::from_partition(groups, &t);
+        let order = DomainOrder::new(&d);
+
+        prop_assert_eq!(order.num_domains(), d.len());
+        prop_assert_eq!(order.perm().len(), n as usize);
+        for id in 0..n {
+            prop_assert_eq!(order.id_at(order.pos_of(id)), id);
+        }
+        for pos in 0..n {
+            prop_assert_eq!(order.pos_of(order.id_at(pos)), pos);
+        }
+        let mut next = 0u32;
+        for (di, members) in d.domains.iter().enumerate() {
+            prop_assert_eq!(order.members(di), members.as_slice());
+            for &id in members {
+                prop_assert_eq!(order.pos_of(id), next);
+                next += 1;
+            }
+        }
+        prop_assert_eq!(next, n);
+    }
+
+    /// The reusable resolver is bit-identical to `resolve_mesh` on
+    /// randomized meshes and clique decompositions, including across
+    /// repeated windows through one resolver instance.
+    #[test]
+    fn mesh_resolver_matches_resolve_mesh_on_random_meshes(
+        seed in any::<u64>(),
+        n in 8u32..=32,
+        raw in proptest::collection::vec((0u32..32, 0u32..31, any::<bool>()), 0..24),
+    ) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let t = Topology::random_disk(n, 100.0, 52.0, &mut rng);
+        let mut attempts: Vec<MhAttempt> = raw
+            .into_iter()
+            .filter(|&(station, _, _)| station < n)
+            .map(|(station, slot, relay)| MhAttempt { station, slot, relay })
+            .collect();
+        attempts.sort_by_key(|a| a.station);
+        attempts.dedup_by_key(|a| a.station);
+
+        let airtime = 7;
+        let cliques = t.clique_domains();
+        let mut resolver = MeshResolver::new(&t, &cliques);
+        // Two windows: full attempt set, then a prefix — the second call
+        // must not see residue from the first.
+        prop_assert_eq!(
+            resolver.resolve(&t, &attempts, airtime),
+            &resolve_mesh(&t, &cliques, &attempts, airtime)
+        );
+        let half = &attempts[..attempts.len() / 2];
+        prop_assert_eq!(
+            resolver.resolve(&t, half, airtime),
+            &resolve_mesh(&t, &cliques, half, airtime)
+        );
     }
 
     /// The same differential pin on the explicit bridged union the engine
