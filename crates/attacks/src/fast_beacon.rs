@@ -178,6 +178,10 @@ impl<P: SyncProtocol> SyncProtocol for FastBeaconAttacker<P> {
         self.inner.chain_seed()
     }
 
+    fn set_mesh_role(&mut self, role: protocols::api::MeshRole) {
+        self.inner.set_mesh_role(role);
+    }
+
     fn is_reference(&self) -> bool {
         self.inner.is_reference()
     }

@@ -19,6 +19,10 @@
 //! * **pulse-delay / jamming** — jam-then-relay is modeled through the
 //!   channel's jamming switch plus the replay attacker with sub-BP delay;
 //!   see the integration tests.
+//! * **coordinated campaigns** ([`campaign`]) — colluding coalitions of
+//!   the above, Sybil-style candidacy flooding against per-domain
+//!   reference election, and a reactive jammer keyed to the sitting
+//!   reference's beacon slot, all driven by one shared plan.
 //!
 //! All attackers implement the same [`protocols::SyncProtocol`] trait as
 //! honest stations, so the engine treats them uniformly.
@@ -26,10 +30,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod campaign;
 pub mod fast_beacon;
 pub mod forger;
 pub mod replay;
 
+pub use campaign::{CampaignKind, CampaignMember, CampaignRole, CampaignSpec};
 pub use fast_beacon::{AttackWindow, FastBeaconAttacker};
 pub use forger::ExternalForger;
 pub use replay::ReplayAttacker;

@@ -25,7 +25,7 @@ use crate::instrument::{
 };
 use crate::kernel::{BpTimeline, NodeSoa};
 use crate::scenario::{ProtocolKind, ScenarioConfig, TopologySpec};
-use attacks::{AttackWindow, FastBeaconAttacker};
+use attacks::{AttackWindow, CampaignMember, FastBeaconAttacker};
 use clocks::Oscillator;
 use mac80211::ContentionWindow;
 use protocols::api::{
@@ -311,10 +311,25 @@ impl Network {
         let oscs = sc.drift.sample_population(&mut osc_rng, n);
 
         let attacker_id = sc.attacker_id();
+        // Campaign members are compromised *stations*, constructed as
+        // wrappers around the honest protocol exactly like the lone
+        // attacker; the member range takes precedence over the lone
+        // attacker slot if both are configured.
+        let campaign_ids = sc.campaign_member_ids();
         let mut nodes: Vec<Box<dyn SyncProtocol>> = Vec::with_capacity(n);
         let mut honest = vec![true; n];
         for id in 0..n as u32 {
-            if Some(id) == attacker_id {
+            if campaign_ids.contains(&id) {
+                let spec = sc.campaign.expect("campaign ids imply spec");
+                let idx = id - campaign_ids.start;
+                honest[id as usize] = false;
+                nodes.push(match sc.protocol {
+                    ProtocolKind::Sstsp => {
+                        Box::new(CampaignMember::new(spec, idx, SstspNode::founding(), true))
+                    }
+                    _ => Box::new(CampaignMember::new(spec, idx, TsfNode::new(), false)),
+                });
+            } else if Some(id) == attacker_id {
                 let spec = sc.attacker.expect("attacker id implies spec");
                 let window = AttackWindow {
                     start_us: spec.start_s * 1e6,
@@ -408,8 +423,6 @@ impl Network {
         let bp = SimDuration::from_us_f64(pcfg.bp_us);
         let total_bps = self.scenario.total_bps();
         let horizon = SimTime::ZERO + bp * (total_bps + 1);
-        let attacker_id = self.scenario.attacker_id();
-
         // Precompute churn departure instants (BP indices).
         let churn_bps: Vec<u64> = match self.scenario.churn {
             Some(c) => {
@@ -443,6 +456,7 @@ impl Network {
             .iter()
             .map(|w| (w.start_s, w.end_s))
             .chain(self.scenario.attacker.map(|a| (a.start_s, a.end_s)))
+            .chain(self.scenario.campaign.map(|c| (c.start_s, c.end_s)))
             .collect();
         let timeline = BpTimeline::build(total_bps, bp, &churn_bps, &ref_leave_bps, &windows_s);
 
@@ -489,6 +503,12 @@ impl Network {
         let mut chan_rng = CountingRng::new(chan_rng);
         let mut jitter_rng = CountingRng::new(jitter_rng);
 
+        // Stations under adversary control: the lone attacker and every
+        // campaign member (reference capture is tracked for all of them).
+        let adversary_ids: Vec<NodeId> = (0..scenario.n_nodes)
+            .filter(|&i| !honest[i as usize])
+            .collect();
+
         // The large-n fast path (dense SoA node state, cached static
         // intents, batched delivery draws, quiescent-BP scan skipping) is
         // bit-identical to the plain loop by construction. It runs when
@@ -499,8 +519,13 @@ impl Network {
         // without one (line/ring/grid/rgg) stay on the plain loop. It can
         // be forced off for cross-checking with SSTSP_NO_FASTPATH=1.
         let caps = hook.capabilities();
+        // Campaign runs always take the plain loop: members form intents
+        // from live protocol state (reference tracking, replay tapes,
+        // transmission parity) that the SoA static-intent cache cannot
+        // represent.
         let fastpath = (!active || caps.fastpath_safe)
             && (topology.is_none() || domains.is_some())
+            && scenario.campaign.is_none()
             && std::env::var("SSTSP_NO_FASTPATH").map_or(true, |v| v != "1");
         // A fast-path-safe hook rides along passively; `hooked` guards the
         // per-event callbacks the slow path owes a full-fidelity hook.
@@ -768,6 +793,9 @@ impl Network {
                 disturbed |= channel.is_jammed();
                 if let Some(a) = scenario.attacker {
                     disturbed |= t_secs >= a.start_s && t_secs < a.end_s;
+                }
+                if let Some(c) = scenario.campaign {
+                    disturbed |= c.active_at(t_secs);
                 }
                 // Churn, departures, and faults all run above, so a
                 // non-quiet BP recomputes the all-present flag once here;
@@ -1478,11 +1506,15 @@ impl Network {
                 last_reference = current_ref;
                 disturbed = true;
             }
-            if let Some(atk) = attacker_id {
+            for &atk in &adversary_ids {
+                if attacker_became_reference {
+                    break;
+                }
                 if current_ref == Some(atk) {
                     attacker_became_reference = true;
+                    break;
                 }
-                // The internal attacker acts as a *de facto* reference when
+                // An internal adversary acts as a *de facto* reference when
                 // the honest stations follow its beacons.
                 let followers = (0..scenario.n_nodes as usize)
                     .filter(|&i| {

@@ -10,6 +10,8 @@ use clocks::DriftModel;
 use protocols::api::ProtocolConfig;
 use serde::{Deserialize, Serialize};
 
+pub use attacks::campaign::{CampaignKind, CampaignSpec};
+
 /// Which synchronization protocol the (honest) stations run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ProtocolKind {
@@ -182,6 +184,10 @@ pub struct ScenarioConfig {
     pub ref_absence_s: f64,
     /// The attacker, if any (station id = n_nodes - 1).
     pub attacker: Option<AttackerSpec>,
+    /// A coordinated multi-attacker campaign, if any (see
+    /// [`campaign_member_ids`](Self::campaign_member_ids) for which
+    /// stations are compromised).
+    pub campaign: Option<CampaignSpec>,
     /// Jamming windows.
     pub jam_windows: Vec<JamWindow>,
     /// Optional multi-hop topology (the paper's future-work extension).
@@ -209,6 +215,7 @@ impl ScenarioConfig {
             ref_leaves_s: Vec::new(),
             ref_absence_s: 50.0,
             attacker: None,
+            campaign: None,
             jam_windows: Vec::new(),
             topology: None,
             timestamp_jitter_us: 1.0,
@@ -254,6 +261,31 @@ impl ScenarioConfig {
     /// The attacker's station id, if an attacker is configured.
     pub fn attacker_id(&self) -> Option<u32> {
         self.attacker.map(|_| self.n_nodes - 1)
+    }
+
+    /// The contiguous id range compromised by the campaign (empty without
+    /// one). The campaign takes the *highest-id island stations*: the tail
+    /// of the last island on a bridged mesh — so gateways keep relaying
+    /// and a small coalition is confined to one collision domain, while a
+    /// coalition larger than an island spans domains — and the tail of
+    /// the whole id space otherwise.
+    pub fn campaign_member_ids(&self) -> std::ops::Range<u32> {
+        let Some(c) = &self.campaign else { return 0..0 };
+        let top = match self.topology {
+            Some(TopologySpec::Bridged {
+                domains,
+                cols,
+                rows,
+            }) => domains * cols * rows,
+            _ => self.n_nodes,
+        };
+        assert!(
+            c.attackers < top && c.attackers <= self.n_nodes - 2,
+            "campaign must leave honest island stations ({} attackers, {} stations)",
+            c.attackers,
+            self.n_nodes
+        );
+        top - c.attackers..top
     }
 }
 

@@ -15,7 +15,7 @@ use crate::engine::RunResult;
 use crate::instrument::{
     BpBatch, BpView, DeliveryCtx, DeliveryFate, DeliveryObs, EngineHook, HookCaps,
 };
-use crate::scenario::{ScenarioConfig, TopologySpec};
+use crate::scenario::{CampaignSpec, ScenarioConfig, TopologySpec};
 use protocols::api::{AnchorRegistry, BeaconPayload, NodeId};
 use protocols::sstsp::SstspStats;
 use simcore::SimTime;
@@ -72,6 +72,10 @@ pub struct TraceRecorder {
     last_reference: Option<NodeId>,
     domains: Option<DomainDecomposition>,
     last_domain_refs: Vec<Option<NodeId>>,
+    /// Campaign annotation state: the shared plan, the compromised id
+    /// range, and the BP length in µs (to map bp numbers onto the
+    /// activity window the same way the engine's disturbed flag does).
+    campaign: Option<(CampaignSpec, std::ops::Range<u32>, f64)>,
 }
 
 impl TraceRecorder {
@@ -95,6 +99,26 @@ impl TraceRecorder {
     /// Consume the recorder, returning the recorded events.
     pub fn into_events(self) -> Vec<TraceEvent> {
         self.events
+    }
+
+    /// The `campaign` annotation for a transmission, if `src` is a
+    /// campaign member transmitting inside the plan's activity window
+    /// (judged from the BP start time, matching the engine's disturbed
+    /// flag). Emitted right after the member's `beacon_tx` so replay
+    /// divergence detection covers attacker behavior, not just its
+    /// downstream effects.
+    fn campaign_annotation(&self, bp: u64, src: NodeId) -> Option<TraceEvent> {
+        let (spec, members, bp_us) = self.campaign.as_ref()?;
+        if !members.contains(&src) || !spec.active_at(bp as f64 * bp_us / 1e6) {
+            return None;
+        }
+        let member = src - members.start;
+        Some(TraceEvent::Campaign {
+            bp,
+            src,
+            member,
+            role: spec.role_of(member).token().to_string(),
+        })
     }
 }
 
@@ -120,6 +144,13 @@ impl EngineHook for TraceRecorder {
             self.last_domain_refs = vec![None; decomp.len()];
             self.domains = Some(decomp);
         }
+        self.campaign = scenario.campaign.map(|spec| {
+            (
+                spec,
+                scenario.campaign_member_ids(),
+                scenario.protocol_config.bp_us,
+            )
+        });
         self.events.push(TraceEvent::RunStart {
             protocol: scenario.protocol.name().to_string(),
             n_nodes: scenario.n_nodes,
@@ -129,6 +160,9 @@ impl EngineHook for TraceRecorder {
 
     fn on_beacon_tx(&mut self, bp: u64, src: NodeId, _t_tx: SimTime) {
         self.events.push(TraceEvent::BeaconTx { bp, src });
+        if let Some(ev) = self.campaign_annotation(bp, src) {
+            self.events.push(ev);
+        }
     }
 
     fn on_delivery(&mut self, _ctx: &DeliveryCtx, _payload: &mut BeaconPayload) -> DeliveryFate {
@@ -188,6 +222,9 @@ impl EngineHook for TraceRecorder {
     fn on_bp_batch(&mut self, batch: &BpBatch<'_>) {
         for &src in batch.txs {
             self.events.push(TraceEvent::BeaconTx { bp: batch.bp, src });
+            if let Some(ev) = self.campaign_annotation(batch.bp, src) {
+                self.events.push(ev);
+            }
         }
         for rx in batch.rxs {
             self.events.push(TraceEvent::BeaconRx {

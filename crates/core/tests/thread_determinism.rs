@@ -41,9 +41,46 @@ fn fingerprint() -> String {
         rows: 2,
     });
     let by_mesh = run_seeds(&mesh, &[7, 8]);
+    // Hostile-environment scenarios: the differential security suite's
+    // SSTSP-vs-TSF campaign runs must be pool-size independent too (a
+    // coalition on the paper's single-hop IBSS, and a Sybil flood against
+    // the bridged mesh's per-domain elections).
+    let hostile: Vec<ScenarioConfig> = [ProtocolKind::Sstsp, ProtocolKind::Tsf]
+        .iter()
+        .flat_map(|&k| {
+            let mut coalition = ScenarioConfig::new(k, 10, 8.0, 7);
+            coalition.campaign = Some(sstsp::scenario::CampaignSpec {
+                kind: sstsp::scenario::CampaignKind::Coalition {
+                    error_us: 800.0,
+                    delay_bps: 2,
+                },
+                attackers: 3,
+                start_s: 4.0,
+                end_s: 7.0,
+            });
+            let mut sybil = mesh.clone();
+            sybil.protocol = k;
+            sybil.duration_s = 8.0;
+            // Window from t = 0 so the flood contests the initial
+            // per-domain election and actually transmits.
+            sybil.campaign = Some(sstsp::scenario::CampaignSpec {
+                kind: sstsp::scenario::CampaignKind::SybilFlood { error_us: 1500.0 },
+                attackers: 2,
+                start_s: 0.0,
+                end_s: 6.0,
+            });
+            [coalition, sybil]
+        })
+        .collect();
+    let by_campaign = run_configs(&hostile);
 
     let mut s = String::new();
-    for r in by_seed.iter().chain(&by_config).chain(&by_mesh) {
+    for r in by_seed
+        .iter()
+        .chain(&by_config)
+        .chain(&by_mesh)
+        .chain(&by_campaign)
+    {
         s.push_str(&format!(
             "{}/{}/{} peak={:016x} tx={} coll={} silent={} refchg={}\n",
             r.protocol,

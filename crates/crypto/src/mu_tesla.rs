@@ -53,6 +53,25 @@ pub mod mutation {
     pub fn accept_unverified_keys() -> bool {
         ACCEPT_UNVERIFIED_KEYS.load(Ordering::SeqCst)
     }
+
+    static WEAKEN_GUARD_CHECK: AtomicBool = AtomicBool::new(false);
+
+    /// Plant (or clear) a second bug, consumed by the SSTSP receiver path:
+    /// with the flag on, the guard-time plausibility check is disabled
+    /// (δ treated as infinite), so any authenticated beacon disciplines the
+    /// clock no matter how far its timestamp strays. A colluding insider
+    /// campaign whose leader advertises an error beyond δ then walks honest
+    /// clocks outside the guard envelope — the exact failure the
+    /// guard-time check exists to prevent, and the defect the campaign
+    /// fuzzer's mutation sanity check must catch.
+    pub fn set_weaken_guard_check(on: bool) {
+        WEAKEN_GUARD_CHECK.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether the planted guard-time weakening is active.
+    pub fn weaken_guard_check() -> bool {
+        WEAKEN_GUARD_CHECK.load(Ordering::SeqCst)
+    }
 }
 
 /// Maps (loosely synchronized) local time to beacon-interval indices.

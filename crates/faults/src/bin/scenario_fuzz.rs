@@ -1,9 +1,10 @@
 //! Scenario fuzzer / fault-matrix CLI.
 //!
 //! ```text
-//! scenario_fuzz fuzz [--iters N] [--seed S] [--mesh]
+//! scenario_fuzz fuzz [--iters N] [--seed S] [--mesh] [--campaign]
 //!                                             random fault plans, shrink any violation
-//!                                             (--mesh adds a topology dimension)
+//!                                             (--mesh adds a topology dimension,
+//!                                              --campaign a coordinated-adversary one)
 //! scenario_fuzz replay "<spec>"               re-run a one-line reproducer spec
 //! scenario_fuzz matrix                        one representative run per fault class
 //! ```
@@ -20,7 +21,8 @@ use sstsp_faults::plan::FuzzCase;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: scenario_fuzz fuzz [--iters N] [--seed S] [--mesh] | replay \"<spec>\" | matrix"
+        "usage: scenario_fuzz fuzz [--iters N] [--seed S] [--mesh] [--campaign] \
+         | replay \"<spec>\" | matrix"
     );
     ExitCode::from(2)
 }
@@ -36,6 +38,10 @@ fn main() -> ExitCode {
                     cfg.mesh = true;
                     continue;
                 }
+                if flag == "--campaign" {
+                    cfg.campaign = true;
+                    continue;
+                }
                 let Some(value) = it.next() else {
                     return usage();
                 };
@@ -46,10 +52,15 @@ fn main() -> ExitCode {
                 }
             }
             println!(
-                "fuzzing {} cases from master seed {}{}",
+                "fuzzing {} cases from master seed {}{}{}",
                 cfg.iterations,
                 cfg.master_seed,
-                if cfg.mesh { " (mesh topologies)" } else { "" }
+                if cfg.mesh { " (mesh topologies)" } else { "" },
+                if cfg.campaign {
+                    " (adversary campaigns)"
+                } else {
+                    ""
+                }
             );
             let report = fuzz(&cfg, |line| println!("  {line}"));
             match report.failure {

@@ -29,6 +29,12 @@ pub struct FuzzConfig {
     /// (line / ring / bridged multi-domain) and may add a domain-targeted
     /// fault. `false` keeps the original single-hop stream byte-stable.
     pub mesh: bool,
+    /// Fuzz coordinated-adversary campaigns: each case also draws a
+    /// [`CampaignSpec`] (single-hop coalitions; bridged-mesh Sybil floods
+    /// and reference-slot jammers). `false` keeps the other streams
+    /// byte-stable. Takes precedence over `mesh` (campaign cases draw
+    /// their own topology dimension).
+    pub campaign: bool,
 }
 
 impl Default for FuzzConfig {
@@ -38,6 +44,7 @@ impl Default for FuzzConfig {
             master_seed: 2006,
             max_events: 4,
             mesh: false,
+            campaign: false,
         }
     }
 }
@@ -80,6 +87,7 @@ pub fn random_case(rng: &mut ChaCha12Rng, max_events: usize) -> FuzzCase {
         m: MS[rng.random_range(0..MS.len())],
         guard_fine_us: DELTAS[rng.random_range(0..DELTAS.len())],
         mesh: None,
+        campaign: None,
         plan: FaultPlan {
             seed: rng.random_range(0..u64::MAX),
             events: Vec::new(),
@@ -143,6 +151,59 @@ pub fn random_mesh_case(rng: &mut ChaCha12Rng, max_events: usize) -> FuzzCase {
             });
         }
     }
+    case
+}
+
+/// Offsets the campaign fuzzer injects as the coalition's timestamp error,
+/// straddling the δ grid ([`DELTAS`]) from well-under-guard to far past it.
+const CAMPAIGN_ERRORS_US: [f64; 5] = [10.0, 30.0, 100.0, 800.0, 2000.0];
+
+/// Derive a random *campaign* case: a plain [`random_case`] (consuming the
+/// identical RNG prefix, so the other streams stay byte-stable) plus a
+/// coordinated-adversary dimension — single-hop fast-beacon + replay
+/// coalitions, or Sybil floods / reference-slot jammers against a bridged
+/// mesh's per-domain elections.
+pub fn random_campaign_case(rng: &mut ChaCha12Rng, max_events: usize) -> FuzzCase {
+    use sstsp::scenario::CampaignKind;
+    let mut case = random_case(rng, max_events);
+    let error_us = CAMPAIGN_ERRORS_US[rng.random_range(0..CAMPAIGN_ERRORS_US.len())];
+    let (kind, attackers) = match rng.random_range(0..3u32) {
+        0 => (
+            CampaignKind::Coalition {
+                error_us,
+                delay_bps: rng.random_range(1..=3),
+            },
+            rng.random_range(2..=3),
+        ),
+        1 => (
+            CampaignKind::SybilFlood { error_us },
+            rng.random_range(1..=3),
+        ),
+        _ => (CampaignKind::RefSlotJam, 1),
+    };
+    // Sybil floods and selective jamming target per-domain reference
+    // election; coalitions attack the paper's single-hop IBSS directly.
+    if !matches!(kind, CampaignKind::Coalition { .. }) {
+        case.mesh = Some(MeshSpec::Bridged {
+            domains: rng.random_range(2..=3),
+            cols: rng.random_range(2..=3),
+            rows: rng.random_range(1..=2),
+        });
+        let n = case.scenario().n_nodes;
+        for ev in &mut case.plan.events {
+            retarget_nodes(&mut ev.kind, n);
+        }
+    }
+    // Post-convergence window kept clear of the run's tail so the
+    // invariants' quiet-period checks still get undisturbed BPs.
+    let start_s = rng.random_range(8..=12) as f64;
+    let end_s = (start_s + rng.random_range(4..=8) as f64).min(case.duration_s - 2.0);
+    case.campaign = Some(sstsp::scenario::CampaignSpec {
+        kind,
+        attackers,
+        start_s,
+        end_s,
+    });
     case
 }
 
@@ -224,7 +285,9 @@ pub fn fuzz<L: FnMut(&str)>(cfg: &FuzzConfig, mut log: L) -> FuzzReport {
     let mut rng = ChaCha12Rng::seed_from_u64(cfg.master_seed);
     let cases: Vec<FuzzCase> = (0..cfg.iterations)
         .map(|_| {
-            if cfg.mesh {
+            if cfg.campaign {
+                random_campaign_case(&mut rng, cfg.max_events)
+            } else if cfg.mesh {
                 random_mesh_case(&mut rng, cfg.max_events)
             } else {
                 random_case(&mut rng, cfg.max_events)
@@ -238,8 +301,12 @@ pub fn fuzz<L: FnMut(&str)>(cfg: &FuzzConfig, mut log: L) -> FuzzReport {
     for (i, case) in cases.iter().enumerate() {
         if violation_counts[i] == 0 {
             let mesh_note = case.mesh.map(|m| format!(", mesh={m}")).unwrap_or_default();
+            let campaign_note = case
+                .campaign
+                .map(|c| format!(", campaign={c}"))
+                .unwrap_or_default();
             log(&format!(
-                "case {}/{}: ok ({} events, N={}, {} s{mesh_note})",
+                "case {}/{}: ok ({} events, N={}, {} s{mesh_note}{campaign_note})",
                 i + 1,
                 cfg.iterations,
                 case.plan.events.len(),

@@ -8,8 +8,10 @@
 
 use rayon::prelude::*;
 
+use sstsp::scenario::{CampaignKind, CampaignSpec};
+
 use crate::harness::run_case;
-use crate::plan::{CorruptField, FaultEvent, FaultKind, FaultPlan, FuzzCase};
+use crate::plan::{CorruptField, FaultEvent, FaultKind, FaultPlan, FuzzCase, MeshSpec};
 
 /// One row of the fault matrix.
 #[derive(Debug)]
@@ -33,6 +35,15 @@ fn case_with(label_seed: u64, events: Vec<FaultEvent>) -> FuzzCase {
         seed: label_seed,
         events,
     };
+    case
+}
+
+/// A fault-free case carrying a coordinated-adversary campaign (and
+/// optionally the bridged mesh its kind targets).
+fn campaign_case(label_seed: u64, mesh: Option<MeshSpec>, campaign: CampaignSpec) -> FuzzCase {
+    let mut case = case_with(label_seed, Vec::new());
+    case.mesh = mesh;
+    case.campaign = Some(campaign);
     case
 }
 
@@ -163,6 +174,59 @@ pub fn matrix_cases() -> Vec<(&'static str, FuzzCase)> {
             case_with(
                 12,
                 vec![ev(200, 300, FaultKind::ChainExhaust { intervals: 200 })],
+            ),
+        ),
+        (
+            "coalition: fast-beacon + replay ×3",
+            campaign_case(
+                13,
+                None,
+                CampaignSpec {
+                    kind: CampaignKind::Coalition {
+                        error_us: 800.0,
+                        delay_bps: 2,
+                    },
+                    attackers: 3,
+                    start_s: 10.0,
+                    end_s: 20.0,
+                },
+            ),
+        ),
+        (
+            "Sybil candidacy flood (bridged)",
+            campaign_case(
+                14,
+                Some(MeshSpec::Bridged {
+                    domains: 2,
+                    cols: 3,
+                    rows: 2,
+                }),
+                // The window covers t = 0 so the flood contests the
+                // initial per-domain election (candidacy beacons only
+                // fire while an election is open).
+                CampaignSpec {
+                    kind: CampaignKind::SybilFlood { error_us: 1500.0 },
+                    attackers: 2,
+                    start_s: 0.0,
+                    end_s: 15.0,
+                },
+            ),
+        ),
+        (
+            "reference-slot jammer (bridged)",
+            campaign_case(
+                15,
+                Some(MeshSpec::Bridged {
+                    domains: 2,
+                    cols: 3,
+                    rows: 2,
+                }),
+                CampaignSpec {
+                    kind: CampaignKind::RefSlotJam,
+                    attackers: 1,
+                    start_s: 10.0,
+                    end_s: 20.0,
+                },
             ),
         ),
     ]

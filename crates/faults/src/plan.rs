@@ -11,7 +11,7 @@
 use std::fmt;
 use std::str::FromStr;
 
-use sstsp::scenario::{ProtocolKind, ScenarioConfig, TopologySpec};
+use sstsp::scenario::{CampaignSpec, ProtocolKind, ScenarioConfig, TopologySpec};
 
 /// Which field of a secured beacon a corruption fault damages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -301,6 +301,8 @@ pub struct FuzzCase {
     pub guard_fine_us: f64,
     /// Topology dimension (`None` = single-hop IBSS).
     pub mesh: Option<MeshSpec>,
+    /// Coordinated-adversary campaign (`None` = all stations honest).
+    pub campaign: Option<CampaignSpec>,
     /// The fault schedule.
     pub plan: FaultPlan,
 }
@@ -315,7 +317,26 @@ impl FuzzCase {
             m: 4,
             guard_fine_us: 300.0,
             mesh: None,
+            campaign: None,
             plan: FaultPlan::default(),
+        }
+    }
+
+    /// How many stations the case's mesh dimension can compromise: the
+    /// campaign takes the tail of the last *island* on bridged meshes
+    /// (gateways stay honest), the tail of the id space otherwise. The
+    /// second value is the effective total station count.
+    pub(crate) fn campaign_capacity(&self) -> (u32, u32) {
+        match self.mesh {
+            Some(MeshSpec::Bridged {
+                domains,
+                cols,
+                rows,
+            }) => {
+                let island = domains * cols * rows;
+                (island, island + domains - 1)
+            }
+            _ => (self.n, self.n),
         }
     }
 
@@ -337,6 +358,7 @@ impl FuzzCase {
             }
             cfg.topology = Some(topo);
         }
+        cfg.campaign = self.campaign;
         cfg.protocol_config.m = self.m;
         cfg.protocol_config.guard_fine_us = self.guard_fine_us;
         for ev in &self.plan.events {
@@ -418,6 +440,9 @@ impl fmt::Display for FuzzCase {
         )?;
         if let Some(mesh) = self.mesh {
             write!(f, " mesh={mesh}")?;
+        }
+        if let Some(campaign) = self.campaign {
+            write!(f, " campaign={campaign}")?;
         }
         for ev in &self.plan.events {
             write!(f, " {ev}")?;
@@ -556,6 +581,7 @@ impl FromStr for FuzzCase {
         let mut delta = None;
         let mut plan_seed = None;
         let mut mesh = None;
+        let mut campaign = None;
         let mut events = Vec::new();
         // Name the offending token in every error: a failing reproducer
         // spec is a long line, and "bad value" without the token forces a
@@ -578,22 +604,44 @@ impl FromStr for FuzzCase {
                 "delta" => delta = Some(parse_num(k, v)?),
                 "plan" => plan_seed = Some(parse_num(k, v)?),
                 "mesh" => mesh = Some(v.parse::<MeshSpec>().map_err(in_token(token))?),
+                "campaign" => {
+                    campaign = Some(
+                        v.parse::<CampaignSpec>()
+                            .map_err(SpecError)
+                            .map_err(in_token(token))?,
+                    )
+                }
                 _ => return Err(SpecError(format!("unknown case dim `{k}` in `{token}`"))),
             }
         }
         let need = |what: &str| SpecError(format!("missing `{what}`"));
-        Ok(FuzzCase {
+        let case = FuzzCase {
             n: n.ok_or_else(|| need("n"))?,
             duration_s: dur.ok_or_else(|| need("dur"))?,
             seed: seed.ok_or_else(|| need("seed"))?,
             m: m.ok_or_else(|| need("m"))?,
             guard_fine_us: delta.ok_or_else(|| need("delta"))?,
             mesh,
+            campaign,
             plan: FaultPlan {
                 seed: plan_seed.ok_or_else(|| need("plan"))?,
                 events,
             },
-        })
+        };
+        // Cross-dimension validation: a campaign that parses on its own but
+        // compromises too many of this case's stations must be a named-token
+        // parse error, not an engine assertion later.
+        if let Some(c) = case.campaign {
+            let (island, n_eff) = case.campaign_capacity();
+            if c.attackers >= island || c.attackers + 2 > n_eff {
+                return Err(SpecError(format!(
+                    "campaign `attackers` = {} needs more stations than the \
+                     case provides ({n_eff} total, {island} compromisable)",
+                    c.attackers
+                )));
+            }
+        }
+        Ok(case)
     }
 }
 
@@ -815,6 +863,96 @@ mod tests {
             assert!(
                 msg.contains(&format!("`{token}`")),
                 "error for `{spec}` does not name `{token}`: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_dims_round_trip_and_materialize() {
+        use sstsp::scenario::CampaignKind;
+        for (campaign, mesh) in [
+            (
+                CampaignSpec {
+                    kind: CampaignKind::Coalition {
+                        error_us: 800.0,
+                        delay_bps: 2,
+                    },
+                    attackers: 3,
+                    start_s: 10.0,
+                    end_s: 25.5,
+                },
+                None,
+            ),
+            (
+                CampaignSpec {
+                    kind: CampaignKind::SybilFlood { error_us: 1500.0 },
+                    attackers: 2,
+                    start_s: 8.0,
+                    end_s: 20.0,
+                },
+                Some(MeshSpec::Bridged {
+                    domains: 2,
+                    cols: 3,
+                    rows: 2,
+                }),
+            ),
+            (
+                CampaignSpec {
+                    kind: CampaignKind::RefSlotJam,
+                    attackers: 1,
+                    start_s: 5.25,
+                    end_s: 18.0,
+                },
+                Some(MeshSpec::Bridged {
+                    domains: 2,
+                    cols: 2,
+                    rows: 2,
+                }),
+            ),
+        ] {
+            let mut case = FuzzCase::base(10, 30.0, 3);
+            case.mesh = mesh;
+            case.campaign = Some(campaign);
+            let spec = case.to_string();
+            let parsed: FuzzCase = spec.parse().expect("campaign spec parses");
+            assert_eq!(parsed, case, "round-trip mismatch for `{spec}`");
+            assert_eq!(case.scenario().campaign, Some(campaign));
+        }
+    }
+
+    #[test]
+    fn malformed_campaigns_are_named_token_errors() {
+        for (bad, token) in [
+            ("campaign=coalition:1:30:2:20:40", "attackers"),
+            ("campaign=sybil:0:30:20:40", "attackers"),
+            ("campaign=coalition:2:nan:2:20:40", "error_us"),
+            ("campaign=jamref:2:40:20", "end_s"),
+            ("campaign=warp:2:20:40", "warp"),
+        ] {
+            let spec = format!("n=8 dur=20 seed=1 m=4 delta=300 plan=0 {bad}");
+            let SpecError(msg) = spec.parse::<FuzzCase>().unwrap_err();
+            assert!(
+                msg.contains(&format!("`{token}`")),
+                "error for `{bad}` does not name `{token}`: {msg}"
+            );
+            assert!(
+                msg.contains(bad),
+                "error for `{bad}` omits the token: {msg}"
+            );
+        }
+        // A campaign that parses alone but compromises too much of this
+        // case's station budget is also rejected with the field named.
+        for spec in [
+            // Single-hop: 8 stations cannot spare 7 attackers.
+            "n=8 dur=20 seed=1 m=4 delta=300 plan=0 campaign=coalition:7:30:2:5:15",
+            // Bridged: the 4-station island caps compromisable stations.
+            "n=8 dur=20 seed=1 m=4 delta=300 plan=0 mesh=bridged:2:2:1 \
+             campaign=sybil:4:30:5:15",
+        ] {
+            let SpecError(msg) = spec.parse::<FuzzCase>().unwrap_err();
+            assert!(
+                msg.contains("`attackers`"),
+                "error for `{spec}` does not name `attackers`: {msg}"
             );
         }
     }

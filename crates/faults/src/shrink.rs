@@ -152,6 +152,31 @@ pub fn shrink<F: FnMut(&FuzzCase) -> bool>(mut case: FuzzCase, mut still_fails: 
             }
         }
 
+        // Pass 6: shrink the adversary — first try dropping the campaign
+        // entirely (an honest-network reproducer is simpler), then walk
+        // the coalition down toward the minimal colluding subset.
+        if case.campaign.is_some() {
+            let mut cand = case.clone();
+            cand.campaign = None;
+            if still_fails(&cand) {
+                case = cand;
+                progress = true;
+            }
+        }
+        if let Some(c) = case.campaign {
+            if c.attackers > c.min_attackers() {
+                let mut cand = case.clone();
+                cand.campaign = Some(sstsp::scenario::CampaignSpec {
+                    attackers: c.attackers - 1,
+                    ..c
+                });
+                if still_fails(&cand) {
+                    case = cand;
+                    progress = true;
+                }
+            }
+        }
+
         if !progress {
             return case;
         }
@@ -159,11 +184,23 @@ pub fn shrink<F: FnMut(&FuzzCase) -> bool>(mut case: FuzzCase, mut still_fails: 
 }
 
 /// Re-aim node-targeted faults into the candidate's actual station range
-/// after a dimension change (the engine indexes stations directly).
+/// after a dimension change (the engine indexes stations directly), and
+/// clamp the campaign's coalition into the candidate's station budget
+/// (dropping it when the budget can no longer field a valid coalition).
 fn retarget(cand: &mut FuzzCase) {
     let n = cand.scenario().n_nodes;
     for ev in &mut cand.plan.events {
         retarget_nodes(&mut ev.kind, n);
+    }
+    if let Some(mut c) = cand.campaign {
+        let (island, n_eff) = cand.campaign_capacity();
+        let cap = island.saturating_sub(1).min(n_eff.saturating_sub(2));
+        cand.campaign = if cap < c.min_attackers() {
+            None
+        } else {
+            c.attackers = c.attackers.min(cap);
+            Some(c)
+        };
     }
 }
 
@@ -276,6 +313,62 @@ mod tests {
                 .any(|ev| matches!(ev.kind, FaultKind::Jam))
         });
         assert_eq!(small.mesh, None, "irrelevant mesh dimension is dropped");
+    }
+
+    #[test]
+    fn campaigns_shrink_to_the_minimal_colluding_subset() {
+        use sstsp::scenario::{CampaignKind, CampaignSpec};
+        let mut case = FuzzCase::base(16, 40.0, 1);
+        case.campaign = Some(CampaignSpec {
+            kind: CampaignKind::Coalition {
+                error_us: 800.0,
+                delay_bps: 2,
+            },
+            attackers: 3,
+            start_s: 10.0,
+            end_s: 20.0,
+        });
+        case.plan.events = vec![FaultEvent {
+            start_bp: 10,
+            end_bp: 10,
+            kind: FaultKind::Jam,
+        }];
+        // Predicate needs *a* coalition, but not its full size: the
+        // shrinker walks attackers down to the two-member floor.
+        let small = shrink(case, |c| {
+            matches!(
+                c.campaign,
+                Some(CampaignSpec {
+                    kind: CampaignKind::Coalition { .. },
+                    ..
+                })
+            )
+        });
+        assert_eq!(
+            small.campaign.unwrap().attackers,
+            2,
+            "coalition shrinks to leader + one amplifier"
+        );
+        // An irrelevant campaign is dropped entirely.
+        let mut case = FuzzCase::base(8, 20.0, 1);
+        case.campaign = Some(CampaignSpec {
+            kind: CampaignKind::RefSlotJam,
+            attackers: 1,
+            start_s: 5.0,
+            end_s: 10.0,
+        });
+        case.plan.events = vec![FaultEvent {
+            start_bp: 10,
+            end_bp: 10,
+            kind: FaultKind::Jam,
+        }];
+        let small = shrink(case, |c| {
+            c.plan
+                .events
+                .iter()
+                .any(|ev| matches!(ev.kind, FaultKind::Jam))
+        });
+        assert_eq!(small.campaign, None, "irrelevant campaign is dropped");
     }
 
     #[test]

@@ -296,4 +296,50 @@ fn fastpath_and_legacy_runs_are_bit_identical() {
             "mesh fuzz case {i}: violation counts"
         );
     }
+
+    // --- 6. Campaigns force the slow path ------------------------------
+    // Campaign members form their intents from live protocol state (tape
+    // contents, tracked references) the SoA intent cache cannot represent,
+    // so a campaign run must take the slow path even with the switch in
+    // its default position — and the switch must then be inert.
+    let mut hostile = ScenarioConfig::new(ProtocolKind::Sstsp, 12, 12.0, 7);
+    hostile.campaign = Some(sstsp::scenario::CampaignSpec {
+        kind: sstsp::scenario::CampaignKind::Coalition {
+            error_us: 800.0,
+            delay_bps: 2,
+        },
+        attackers: 3,
+        start_s: 5.0,
+        end_s: 10.0,
+    });
+    compare_plain(&hostile, "campaign coalition");
+    let campaign_snap_for = |enabled: bool| {
+        let _guard = sstsp_telemetry::recording();
+        with_fastpath(enabled, || {
+            std::hint::black_box(Network::build(&hostile).run());
+        });
+        sstsp_telemetry::snapshot()
+    };
+    let campaign_snap = campaign_snap_for(true);
+    let campaign_slow_snap = campaign_snap_for(false);
+    assert_eq!(
+        campaign_snap.counter("engine.path.slow"),
+        1,
+        "campaign run forces the slow path with the switch clear"
+    );
+    assert_eq!(campaign_snap.counter("engine.path.fast"), 0);
+    assert!(
+        campaign_snap.counter("campaign.tx") > 0,
+        "campaign members actually transmitted"
+    );
+    assert_eq!(
+        sans_path(&campaign_snap),
+        sans_path(&campaign_slow_snap),
+        "campaign telemetry counters identical under both switch settings"
+    );
+    assert_eq!(
+        render_sans_path(&campaign_snap),
+        render_sans_path(&campaign_slow_snap),
+        "campaign telemetry distributions"
+    );
 }

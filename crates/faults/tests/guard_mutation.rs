@@ -1,0 +1,120 @@
+//! Mutation sanity check for the guard-time δ check: plant a known
+//! protocol bug (treat δ as infinite, disabling the timestamp guard), then
+//! verify a coalition campaign exposes it — the invariant checker flags
+//! it, the campaign fuzzer finds it on its own, and the shrinker reduces
+//! the coalition to the minimal colluding subset whose one-line spec
+//! replays deterministically.
+//!
+//! The planted bug is a process-global flag (`mutation-hooks` feature),
+//! so this file contains exactly ONE `#[test]` — phases that need the
+//! flag off and on would race as separate tests.
+
+use sstsp::scenario::{CampaignKind, CampaignSpec};
+use sstsp_crypto::mu_tesla::mutation;
+use sstsp_faults::fuzz::{fuzz, FuzzConfig};
+use sstsp_faults::harness::run_case;
+use sstsp_faults::plan::FuzzCase;
+use sstsp_faults::shrink::shrink;
+
+/// A fast-beacon + replay coalition whose injected timestamp error (800 µs)
+/// is far past δ = 300 µs: the correct guard rejects every poisoned beacon,
+/// while the weakened guard accepts them — a checker-visible difference.
+fn trigger_case() -> FuzzCase {
+    let mut case = FuzzCase::base(8, 20.0, 7);
+    case.campaign = Some(CampaignSpec {
+        kind: CampaignKind::Coalition {
+            error_us: 800.0,
+            delay_bps: 2,
+        },
+        attackers: 3,
+        start_s: 8.0,
+        end_s: 16.0,
+    });
+    case
+}
+
+#[test]
+fn weakened_guard_is_caught_shrunk_and_replayable() {
+    // Phase 1 — flag off: the correct guard rejects the coalition's
+    // poisoned timestamps; the checker stays silent.
+    mutation::set_weaken_guard_check(false);
+    let clean = run_case(&trigger_case());
+    assert!(
+        clean.violations.is_empty(),
+        "correct guard must hold against the coalition: {:?}",
+        clean.violations
+    );
+
+    // Phase 2 — plant the bug: locked stations now accept timestamps
+    // arbitrarily far from their own clocks. GuardInfluenceBound (which
+    // re-derives |ts_ref − c| ≤ δ independently) must fire.
+    mutation::set_weaken_guard_check(true);
+    let buggy = run_case(&trigger_case());
+    assert!(
+        !buggy.violations.is_empty(),
+        "weakened guard must produce invariant violations"
+    );
+    assert!(
+        buggy
+            .violations
+            .iter()
+            .any(|v| v.to_string().contains("GuardInfluenceBound")),
+        "violations must include GuardInfluenceBound: {:?}",
+        buggy.violations
+    );
+
+    // Phase 3 — shrink: the campaign is load-bearing (only its members
+    // emit out-of-guard timestamps), so it survives shrinking, reduced to
+    // the minimal colluding subset.
+    let shrunk = shrink(trigger_case(), |c| !run_case(c).violations.is_empty());
+    let coalition = shrunk
+        .campaign
+        .expect("campaign is the trigger and survives");
+    assert_eq!(
+        coalition.attackers,
+        coalition.min_attackers(),
+        "coalition shrinks to the minimal colluding subset: {shrunk}"
+    );
+    assert!(
+        !run_case(&shrunk).violations.is_empty(),
+        "shrunk case still fails"
+    );
+
+    // Phase 4 — the one-line spec round-trips and replays deterministically.
+    let spec = shrunk.to_string();
+    let replayed: FuzzCase = spec.parse().expect("spec parses back");
+    assert_eq!(replayed, shrunk);
+    let a = run_case(&shrunk);
+    let b = run_case(&replayed);
+    assert_eq!(a.violations.len(), b.violations.len());
+    assert_eq!(a.result.spread.values(), b.result.spread.values());
+
+    // Phase 5 — the campaign fuzzer finds the bug on its own (coalition
+    // draws with error > δ are about a fifth of its campaign space).
+    let report = fuzz(
+        &FuzzConfig {
+            iterations: 40,
+            master_seed: 2006,
+            max_events: 2,
+            mesh: false,
+            campaign: true,
+        },
+        |_| {},
+    );
+    let failure = report.failure.expect("campaign fuzzer must find the bug");
+    assert!(
+        !failure.violations.is_empty(),
+        "shrunk fuzz failure still violates"
+    );
+    assert!(
+        failure.shrunk.campaign.is_some(),
+        "the failing dimension is the campaign: {}",
+        failure.shrunk
+    );
+
+    // Phase 6 — clear the bug: the same reproducers go clean again,
+    // proving the violations came from the mutation, not the campaign.
+    mutation::set_weaken_guard_check(false);
+    assert!(run_case(&shrunk).violations.is_empty());
+    assert!(run_case(&failure.shrunk).violations.is_empty());
+}

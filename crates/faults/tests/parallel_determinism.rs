@@ -27,6 +27,7 @@ fn fuzz_transcript() -> String {
         master_seed: 99,
         max_events: 3,
         mesh: false,
+        campaign: false,
     };
     let mut out = String::new();
     let report = fuzz(&cfg, |line| {

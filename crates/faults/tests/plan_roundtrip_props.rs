@@ -5,6 +5,7 @@
 
 use proptest::prelude::*;
 use proptest::strategy::BoxedStrategy;
+use sstsp::scenario::{CampaignKind, CampaignSpec};
 use sstsp_faults::plan::{CorruptField, FaultEvent, FaultKind, FaultPlan, FuzzCase, MeshSpec};
 
 fn corrupt_field() -> BoxedStrategy<CorruptField> {
@@ -77,25 +78,80 @@ fn mesh() -> BoxedStrategy<Option<MeshSpec>> {
     .boxed()
 }
 
+/// Every campaign kind with parameters across their domains, plus `None`
+/// (honest network). The attacker count is drawn raw here and clamped into
+/// the case's station budget in [`fuzz_case`] — the spec parser rejects
+/// coalitions the scenario cannot field.
+fn campaign() -> BoxedStrategy<Option<(CampaignKind, u32, f64, f64)>> {
+    let kind = prop_oneof![
+        (0.0..5000.0, 1u32..10).prop_map(|(error_us, delay_bps)| CampaignKind::Coalition {
+            error_us,
+            delay_bps,
+        }),
+        (0.0..5000.0).prop_map(|error_us| CampaignKind::SybilFlood { error_us }),
+        Just(CampaignKind::RefSlotJam),
+    ];
+    prop_oneof![
+        Just(None),
+        (kind, 1u32..8, 0.0..500.0, 0.5..100.0).prop_map(|(kind, raw, start_s, len_s)| Some((
+            kind,
+            raw,
+            start_s,
+            start_s + len_s
+        ))),
+    ]
+    .boxed()
+}
+
 fn fuzz_case() -> BoxedStrategy<FuzzCase> {
     (
         (2u32..300, 0.5..2000.0, any::<u64>(), 1u32..16),
         (1.0..100000.0, any::<u64>()),
-        mesh(),
+        (mesh(), campaign()),
         proptest::collection::vec(fault_event(), 0..6),
     )
         .prop_map(
-            |((n, duration_s, seed, m), (guard_fine_us, plan_seed), mesh, events)| FuzzCase {
-                n,
-                duration_s,
-                seed,
-                m,
-                guard_fine_us,
-                mesh,
-                plan: FaultPlan {
-                    seed: plan_seed,
-                    events,
-                },
+            |((n, duration_s, seed, m), (guard_fine_us, plan_seed), (mesh, campaign), events)| {
+                let mut case = FuzzCase {
+                    n,
+                    duration_s,
+                    seed,
+                    m,
+                    guard_fine_us,
+                    mesh,
+                    campaign: None,
+                    plan: FaultPlan {
+                        seed: plan_seed,
+                        events,
+                    },
+                };
+                if let Some((kind, raw_attackers, start_s, end_s)) = campaign {
+                    // Clamp the coalition into the case's station budget;
+                    // cases too small for a valid coalition stay honest.
+                    let (island, n_eff) = match case.mesh {
+                        Some(MeshSpec::Bridged {
+                            domains,
+                            cols,
+                            rows,
+                        }) => {
+                            let island = domains * cols * rows;
+                            (island, island + domains - 1)
+                        }
+                        _ => (case.n, case.n),
+                    };
+                    let cap = island.saturating_sub(1).min(n_eff.saturating_sub(2));
+                    let mut spec = CampaignSpec {
+                        kind,
+                        attackers: raw_attackers,
+                        start_s,
+                        end_s,
+                    };
+                    if cap >= spec.min_attackers() {
+                        spec.attackers = raw_attackers.clamp(spec.min_attackers(), cap);
+                        case.campaign = Some(spec);
+                    }
+                }
+                case
             },
         )
         .boxed()

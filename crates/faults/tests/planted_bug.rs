@@ -94,6 +94,7 @@ fn planted_bug_is_caught_flagged_shrunk_and_replayable() {
             master_seed: 2006,
             max_events: 4,
             mesh: false,
+            campaign: false,
         },
         |_| {},
     );

@@ -555,6 +555,14 @@ impl SstspNode {
         } else {
             ctx.config.guard_coarse_us
         };
+        // Test-only planted bug (mutation sanity check): treat δ as
+        // infinite, disabling the guard entirely.
+        #[cfg(feature = "mutation-hooks")]
+        let guard = if sstsp_crypto::mu_tesla::mutation::weaken_guard_check() {
+            f64::INFINITY
+        } else {
+            guard
+        };
         if !takeover && diff > guard {
             self.stats.guard_rejections += 1;
             telemetry::count!("sstsp.reject.guard");

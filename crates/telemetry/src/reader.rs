@@ -335,6 +335,12 @@ fn parse_event_line(line: &str) -> Result<TraceEvent, String> {
                 outcome,
             }
         }
+        "campaign" => TraceEvent::Campaign {
+            bp: f.num("bp")?,
+            src: f.num("src")?,
+            member: f.num("member")?,
+            role: f.str("role")?,
+        },
         "hook_drop" => TraceEvent::HookDrop {
             bp: f.num("bp")?,
             src: f.num("src")?,
@@ -443,6 +449,12 @@ mod tests {
                 t_rx_us: 1.0e-9,
                 clock_before_us: 2.5e17,
                 outcome: RxOutcome::GuardReject,
+            },
+            TraceEvent::Campaign {
+                bp: 1,
+                src: 5,
+                member: 1,
+                role: "amplifier".to_string(),
             },
             TraceEvent::HookDrop {
                 bp: 2,

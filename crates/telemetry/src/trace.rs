@@ -104,6 +104,20 @@ pub enum TraceEvent {
         /// What the receiver did with it.
         outcome: RxOutcome,
     },
+    /// A campaign member transmitted while its campaign was active.
+    /// Emitted right after the member's [`TraceEvent::BeaconTx`], so
+    /// replay divergence detection covers coordinated attacks: a replay
+    /// whose adversary fires in a different BP or role diverges here.
+    Campaign {
+        /// Beacon period index.
+        bp: u64,
+        /// Transmitting compromised station.
+        src: u32,
+        /// Member index within the campaign (0-based).
+        member: u32,
+        /// Role token: `leader`, `amplifier`, `sybil` or `jammer`.
+        role: String,
+    },
     /// A hook (fault layer) dropped a beacon before the receiver saw it.
     HookDrop {
         /// Beacon period index.
@@ -280,6 +294,15 @@ impl TraceEvent {
                     outcome.token()
                 )
             }
+            TraceEvent::Campaign {
+                bp,
+                src,
+                member,
+                role,
+            } => format!(
+                "{{\"ev\":\"campaign\",\"bp\":{bp},\"src\":{src},\"member\":{member},\"role\":\"{}\"}}",
+                json_escape(role)
+            ),
             TraceEvent::HookDrop { bp, src, dst } => {
                 format!("{{\"ev\":\"hook_drop\",\"bp\":{bp},\"src\":{src},\"dst\":{dst}}}")
             }
@@ -343,6 +366,7 @@ impl TraceEvent {
             TraceEvent::RunStart { .. } => "run_start",
             TraceEvent::BeaconTx { .. } => "beacon_tx",
             TraceEvent::BeaconRx { .. } => "beacon_rx",
+            TraceEvent::Campaign { .. } => "campaign",
             TraceEvent::HookDrop { .. } => "hook_drop",
             TraceEvent::RefChange { .. } => "ref_change",
             TraceEvent::DomainRefChange { .. } => "domain_ref_change",
@@ -357,6 +381,7 @@ impl TraceEvent {
         match self {
             TraceEvent::BeaconTx { bp, .. }
             | TraceEvent::BeaconRx { bp, .. }
+            | TraceEvent::Campaign { bp, .. }
             | TraceEvent::HookDrop { bp, .. }
             | TraceEvent::RefChange { bp, .. }
             | TraceEvent::DomainRefChange { bp, .. }
@@ -440,6 +465,16 @@ mod tests {
         assert_eq!(
             ev.to_jsonl().unwrap(),
             "{\"ev\":\"domain_ref_change\",\"bp\":14,\"domain\":1,\"from\":null,\"to\":8}"
+        );
+        let ev = TraceEvent::Campaign {
+            bp: 201,
+            src: 11,
+            member: 1,
+            role: "amplifier".to_string(),
+        };
+        assert_eq!(
+            ev.to_jsonl().unwrap(),
+            "{\"ev\":\"campaign\",\"bp\":201,\"src\":11,\"member\":1,\"role\":\"amplifier\"}"
         );
         let ev = TraceEvent::Meta {
             schema: TRACE_SCHEMA,

@@ -44,6 +44,17 @@ for threads in 1 2 8; do
         fuzz --iters 8 --seed 2006 --mesh
 done
 
+echo "==> campaign scenario fuzz (coordinated-adversary dimension, bounded)"
+cargo run --release -q -p sstsp-faults --bin scenario_fuzz -- \
+    fuzz --iters 8 --seed 2006 --campaign
+
+echo "==> differential security suite at RAYON_NUM_THREADS=1,2,8 (SSTSP vs TSF per campaign)"
+for threads in 1 2 8; do
+    echo "    RAYON_NUM_THREADS=$threads"
+    RAYON_NUM_THREADS=$threads cargo test -q --release -p sstsp-repro \
+        --test differential_security --test security_drills
+done
+
 echo "==> thread-determinism at RAYON_NUM_THREADS=1,2,8 (sweep bytes independent of pool size)"
 for threads in 1 2 8; do
     echo "    RAYON_NUM_THREADS=$threads"
@@ -74,6 +85,23 @@ for threads in 1 2 8; do
     diff <(sed -n '/--- telemetry ---/,$p' "$REPLAY_TMP/rec.err") \
         <(sed -n '/--- telemetry ---/,$p' "$REPLAY_TMP/rep.err") || {
         echo "ERROR: replay telemetry diverged from the recording" >&2
+        exit 1
+    }
+done
+
+echo "==> campaign record/replay round trip (reference-slot jammer on the bridged mesh)"
+$SIM trace "n=13 dur=12 seed=7 m=4 delta=300 plan=0 mesh=bridged:2:3:2 campaign=jamref:1:4:9" \
+    --out "$REPLAY_TMP/camp.jsonl" 2>/dev/null
+grep -q '"ev":"campaign"' "$REPLAY_TMP/camp.jsonl" || {
+    echo "ERROR: campaign trace carries no campaign events" >&2
+    exit 1
+}
+for threads in 1 2 8; do
+    echo "    RAYON_NUM_THREADS=$threads"
+    RAYON_NUM_THREADS=$threads $SIM replay "$REPLAY_TMP/camp.jsonl" --strict \
+        --out "$REPLAY_TMP/camp_rep.jsonl" >/dev/null 2>&1
+    cmp "$REPLAY_TMP/camp.jsonl" "$REPLAY_TMP/camp_rep.jsonl" || {
+        echo "ERROR: campaign replay is not byte-identical to the recording" >&2
         exit 1
     }
 done
@@ -114,7 +142,10 @@ for bad in "--jam 50,20" "--jam 20,20" "--attack 600,400,30" "--churn 0,0.5,10" 
     "--churn 10,1.5,10" "--duration -5" "--bogus-flag" \
     "--mesh bridged:0:3:2" "--mesh bridged:1:3:2" "--mesh bridged:2:0:2" \
     "--mesh bridged:2:3:0" "--mesh bridged:2:3" "--mesh rgg:0:1" \
-    "--mesh rgg:100:0" "--mesh rgg:inf:1" "--mesh hex"; do
+    "--mesh rgg:100:0" "--mesh rgg:inf:1" "--mesh hex" \
+    "--campaign coalition:1:30:2:20:40" "--campaign sybil:0:30:20:40" \
+    "--campaign jamref:2:40:20" "--campaign coalition:2:nan:2:20:40" \
+    "--campaign coalition:7:30:2:20:40" "--campaign warp:2:20:40"; do
     set +e
     # shellcheck disable=SC2086
     $SIM $bad --nodes 8 >/dev/null 2>&1

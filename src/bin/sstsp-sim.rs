@@ -22,6 +22,7 @@
 //! | `--churn PERIOD,FRACTION,ABSENCE` | station churn | off |
 //! | `--ref-leaves T1,T2,...` | reference departure times (s) | none |
 //! | `--attack START,END,ERROR_US` | fast-beacon attacker | off |
+//! | `--campaign SPEC` | coordinated-adversary campaign: `coalition:K:ERR:DELAY:START:END`, `sybil:K:ERR:START:END`, `jamref:K:START:END` | off |
 //! | `--jam START,END` | jamming window (repeatable) | none |
 //! | `--mesh SPEC` | mesh topology: `line`, `ring`, `rgg:SIDE:RANGE`, `bridged:D:C:R` | off |
 //! | `--chart` | print the ASCII spread chart | off |
@@ -49,7 +50,7 @@
 //! writes the regenerated trace (byte-identical to the input for a
 //! faithful recording). Unreadable or schema-mismatched traces exit 2.
 
-use sstsp::scenario::{AttackerSpec, ChurnConfig, JamWindow};
+use sstsp::scenario::{AttackerSpec, CampaignSpec, ChurnConfig, JamWindow};
 use sstsp::{Network, ProtocolKind, ScenarioConfig};
 use sstsp_faults::plan::{FuzzCase, MeshSpec};
 use sstsp_faults::{replay_trace, run_case_traced, to_replayable_jsonl};
@@ -262,6 +263,7 @@ fn main() {
     let mut churn = None::<ChurnConfig>;
     let mut ref_leaves: Vec<f64> = Vec::new();
     let mut attack = None::<AttackerSpec>;
+    let mut campaign = None::<CampaignSpec>;
     let mut jams: Vec<JamWindow> = Vec::new();
     let mut mesh = None::<MeshSpec>;
     let mut chart = false;
@@ -330,6 +332,13 @@ fn main() {
                     error_us: v[2],
                 });
             }
+            "--campaign" => {
+                campaign = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|e| usage(&format!("bad --campaign: {e}"))),
+                )
+            }
             "--jam" => {
                 let v = parse_list(&val(), 2, "--jam");
                 validate_window("--jam", v[0], v[1]);
@@ -381,6 +390,27 @@ fn main() {
         }
         cfg.topology = Some(topo);
     }
+    if let Some(c) = campaign {
+        cfg.campaign = Some(c);
+        // Validate the coalition against the (possibly mesh-derived)
+        // station budget here so a bad flag is a usage error, not an
+        // engine assertion.
+        let island = match cfg.topology {
+            Some(sstsp::scenario::TopologySpec::Bridged {
+                domains,
+                cols,
+                rows,
+            }) => domains * cols * rows,
+            _ => cfg.n_nodes,
+        };
+        if c.attackers >= island || c.attackers + 2 > cfg.n_nodes {
+            usage(&format!(
+                "--campaign: `attackers` = {} needs more stations than the \
+                 scenario provides ({} total, {island} compromisable)",
+                c.attackers, cfg.n_nodes
+            ));
+        }
+    }
 
     eprintln!(
         "running {} × {} stations for {} s (seed {seed})...",
@@ -422,7 +452,7 @@ fn main() {
             );
         }
     }
-    if cfg.attacker.is_some() {
+    if cfg.attacker.is_some() || cfg.campaign.is_some() {
         println!("attacker became ref: {}", r.attacker_became_reference);
     }
     if r.guard_rejections + r.mutesla_rejections > 0 {

@@ -1,8 +1,9 @@
 //! Security integration tests: the Sec. 4 adversary catalogue against the
-//! full system.
+//! full system, plus coordinated-adversary campaign drills on the bridged
+//! mesh (is a coalition's damage confined to its collision domain?).
 
 use simcore::SimTime;
-use sstsp::scenario::AttackerSpec;
+use sstsp::scenario::{AttackerSpec, CampaignKind, CampaignSpec, TopologySpec};
 use sstsp::{Network, ProtocolKind, ScenarioConfig};
 
 fn attacked(kind: ProtocolKind, n: u32, seed: u64) -> sstsp::RunResult {
@@ -123,6 +124,114 @@ fn attacked_runs_are_deterministic() {
     assert_eq!(a.spread.values(), b.spread.values());
     assert_eq!(a.guard_rejections, b.guard_rejections);
     assert_eq!(a.mutesla_rejections, b.mutesla_rejections);
+}
+
+/// A bridged-mesh scenario (2 domains of 3×2 stations + 1 gateway) with a
+/// fast-beacon + replay coalition of `attackers` stations. Campaign
+/// members are the top station ids, so small coalitions sit entirely
+/// inside the far island (one collision domain) while large ones span
+/// both islands; gateways always stay honest.
+fn bridged_coalition(attackers: u32) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::new(ProtocolKind::Sstsp, 13, 25.0, 7);
+    cfg.topology = Some(TopologySpec::Bridged {
+        domains: 2,
+        cols: 3,
+        rows: 2,
+    });
+    cfg.campaign = Some(CampaignSpec {
+        kind: CampaignKind::Coalition {
+            error_us: 800.0,
+            delay_bps: 2,
+        },
+        attackers,
+        start_s: 10.0,
+        end_s: 20.0,
+    });
+    cfg
+}
+
+/// A coalition confined to one collision domain: its beacon suppression
+/// and poisoned timestamps reach only its own island. The other domain's
+/// election is untouched, no reference capture happens, and the whole
+/// mesh re-converges after the campaign.
+#[test]
+fn confined_coalition_damage_stays_in_its_domain() {
+    let r = Network::build(&bridged_coalition(3)).run();
+    assert!(
+        r.guard_rejections > 50,
+        "guard should reject the coalition's poisoned timestamps \
+         (got {})",
+        r.guard_rejections
+    );
+    assert!(
+        !r.attacker_became_reference,
+        "a coalition confined to the far island must not capture any \
+         reference seat (the sitting per-domain references beacon earlier)"
+    );
+    let domains = r.domain_report.as_deref().expect("bridged run");
+    for d in domains {
+        let spread = d.end_spread_us.expect("both domains keep honest stations");
+        assert!(
+            spread < 10.0,
+            "domain {} failed to re-converge: end spread {spread:.1} µs",
+            d.domain
+        );
+    }
+    let tail = r
+        .spread
+        .max_in(SimTime::from_secs(22), SimTime::from_secs(25))
+        .unwrap();
+    assert!(tail < 25.0, "post-campaign spread {tail:.1} µs");
+}
+
+/// A coalition large enough to span both islands (8 of the 12 island
+/// stations — the far domain entirely compromised plus a foothold in the
+/// near one). It captures reference seats and forces re-elections, but
+/// the honest remnant still re-converges once the campaign ends — and a
+/// fully compromised domain visibly drops out of the honest spread
+/// report.
+#[test]
+fn gateway_spanning_coalition_is_survived() {
+    let confined = Network::build(&bridged_coalition(3)).run();
+    let r = Network::build(&bridged_coalition(8)).run();
+    assert!(
+        r.attacker_became_reference,
+        "a coalition holding a whole domain captures its reference seat"
+    );
+    assert!(
+        r.reference_changes > confined.reference_changes,
+        "spanning coalition should force re-elections \
+         (spanning {} vs confined {})",
+        r.reference_changes,
+        confined.reference_changes
+    );
+    let domains = r.domain_report.as_deref().expect("bridged run");
+    assert!(
+        domains.iter().any(|d| d.end_spread_us.is_none()),
+        "the fully compromised domain has no honest stations left to \
+         report a spread: {domains:?}"
+    );
+    // The honest remnant (near island + gateway) re-converges.
+    let tail = r
+        .spread
+        .max_in(SimTime::from_secs(22), SimTime::from_secs(25))
+        .unwrap();
+    assert!(tail < 25.0, "post-campaign honest spread {tail:.1} µs");
+}
+
+/// Campaign drills are exactly reproducible: byte-identical honest-spread
+/// series on a re-run (check.sh repeats this suite at RAYON_NUM_THREADS =
+/// 1, 2 and 8 for pool-size independence).
+#[test]
+fn campaign_drills_are_deterministic() {
+    for attackers in [3, 8] {
+        let cfg = bridged_coalition(attackers);
+        let a = Network::build(&cfg).run();
+        let b = Network::build(&cfg).run();
+        assert_eq!(a.spread.values(), b.spread.values());
+        assert_eq!(a.guard_rejections, b.guard_rejections);
+        assert_eq!(a.reference_changes, b.reference_changes);
+    }
 }
 
 /// The recovery extension (the paper's future work): under a
